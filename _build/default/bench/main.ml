@@ -1,0 +1,284 @@
+(* Bechamel benchmark suite: one Test per experiment table/figure
+   (EXPERIMENTS.md / DESIGN.md section 6). `bin/experiments.exe` prints the
+   paper-shaped tables with parameter sweeps; this executable provides
+   statistically sound single-operation timings.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module O = Ordered_xml
+
+let encodings = [ O.Encoding.Global; O.Encoding.Local; O.Encoding.Dewey_enc ]
+
+(* shared stores over the scale-1 auction document *)
+let doc = O.Workload.dataset ~scale:1
+let db = Reldb.Db.create ()
+
+let stores =
+  List.map (fun enc -> (enc, O.Api.Store.create db ~name:"b" enc doc)) encodings
+
+(* --- E3: the ordered query set (incl. the native DOM baseline) --------- *)
+
+let native = O.Native_store.create doc
+
+let query_tests =
+  let per_query (q : O.Workload.query) =
+    let tests =
+      List.map
+        (fun (enc, store) ->
+          match q.O.Workload.q_xpath with
+          | Some xp ->
+              Test.make
+                ~name:(O.Encoding.name enc)
+                (Staged.stage (fun () -> ignore (O.Api.Store.query store xp)))
+          | None ->
+              let id = List.hd (O.Api.Store.query_ids store O.Workload.q8_target) in
+              Test.make
+                ~name:(O.Encoding.name enc)
+                (Staged.stage (fun () -> ignore (O.Api.Store.subtree store ~id))))
+        stores
+    in
+    let native_test =
+      match q.O.Workload.q_xpath with
+      | Some xp ->
+          Test.make ~name:"native"
+            (Staged.stage (fun () -> ignore (O.Native_store.query native xp)))
+      | None ->
+          Test.make ~name:"native"
+            (Staged.stage (fun () ->
+                 ignore (O.Native_store.query native O.Workload.q8_target)))
+    in
+    Test.make_grouped ~name:q.O.Workload.q_id (tests @ [ native_test ])
+  in
+  Test.make_grouped ~name:"e3-queries" (List.map per_query O.Workload.queries)
+
+(* --- E4: insertion by position (steady state: insert then delete) ----- *)
+
+let update_db = Reldb.Db.create ()
+
+let update_stores =
+  let flat = Xmllib.Generator.flat ~tag:"item" ~count:200 () in
+  List.map
+    (fun enc -> (enc, O.Api.Store.create update_db ~name:"u" enc flat))
+    (encodings @ [ O.Encoding.Global_gap; O.Encoding.Dewey_caret ])
+
+let insert_delete store pos =
+  (* steady state: insert the fragment, then delete it again (the fragment
+     tag differs from the container's items, so it is easy to find) *)
+  let root = O.Api.Store.root_id store in
+  ignore
+    (O.Api.Store.insert_subtree store ~parent:root ~pos O.Workload.small_fragment);
+  let victim = List.hd (O.Api.Store.query_ids store "/doc/bidder[1]") in
+  ignore (O.Api.Store.delete_subtree store ~id:victim)
+
+let native_flat = O.Native_store.create (Xmllib.Generator.flat ~tag:"item" ~count:200 ())
+
+let native_insert_delete pos =
+  O.Native_store.insert_subtree native_flat ~parent:0 ~pos O.Workload.small_fragment;
+  let victim = List.hd (O.Native_store.query native_flat "/doc/bidder[1]") in
+  O.Native_store.delete_subtree native_flat ~id:victim
+
+let update_tests =
+  let per_pos pos =
+    Test.make_grouped
+      ~name:(O.Workload.position_name pos)
+      (List.map
+         (fun (enc, store) ->
+           Test.make
+             ~name:(O.Encoding.name enc)
+             (Staged.stage (fun () ->
+                  insert_delete store
+                    (O.Workload.insertion_pos pos ~sibling_count:200))))
+         update_stores
+      @ [
+          Test.make ~name:"native"
+            (Staged.stage (fun () ->
+                 native_insert_delete
+                   (O.Workload.insertion_pos pos ~sibling_count:200)));
+        ])
+  in
+  Test.make_grouped ~name:"e4-updates" (List.map per_pos O.Workload.positions)
+
+(* --- E5: scaling (Q7, the document-order query) ------------------------ *)
+
+let scaling_tests =
+  let per_scale scale =
+    let sdb = Reldb.Db.create () in
+    let sdoc = O.Workload.dataset ~scale in
+    let sstores =
+      List.map
+        (fun enc -> (enc, O.Api.Store.create sdb ~name:"s" enc sdoc))
+        encodings
+    in
+    let xp =
+      match (List.nth O.Workload.queries 6).O.Workload.q_xpath with
+      | Some xp -> xp
+      | None -> assert false
+    in
+    Test.make_grouped
+      ~name:(Printf.sprintf "scale%d" scale)
+      (List.map
+         (fun (enc, store) ->
+           Test.make
+             ~name:(O.Encoding.name enc)
+             (Staged.stage (fun () -> ignore (O.Api.Store.query store xp))))
+         sstores)
+  in
+  Test.make_grouped ~name:"e5-scaling-q7" (List.map per_scale [ 1; 2; 4 ])
+
+(* --- E6: ablation, dense vs gapped global ------------------------------ *)
+
+let ablation_tests =
+  let mk name enc gap =
+    let adb = Reldb.Db.create () in
+    let flat = Xmllib.Generator.flat ~tag:"item" ~count:200 () in
+    let store = O.Api.Store.create ?gap adb ~name:"a" enc flat in
+    Test.make ~name (Staged.stage (fun () -> insert_delete store 50))
+  in
+  Test.make_grouped ~name:"e6-ablation-gap"
+    [
+      mk "dense" O.Encoding.Global None;
+      mk "gap32" O.Encoding.Global_gap (Some 32);
+      mk "gap128" O.Encoding.Global_gap (Some 128);
+    ]
+
+(* --- E3b: step-at-a-time vs single-statement translation ---------------- *)
+
+let single_statement_tests =
+  let queries =
+    [
+      ("q1-path", "/site/open_auctions/open_auction");
+      ("q6-valuepred", "//person[profile/@income > 50000]/name");
+      ("q7-following", "/site/regions/africa/item/following::item");
+    ]
+  in
+  let store = List.assoc O.Encoding.Global stores in
+  Test.make_grouped ~name:"e3b-translation-mode"
+    (List.concat_map
+       (fun (name, xp) ->
+         let path = O.Xpath_parser.parse xp in
+         [
+           Test.make ~name:(name ^ "/steps")
+             (Staged.stage (fun () -> ignore (O.Api.Store.query store xp)));
+           Test.make ~name:(name ^ "/single")
+             (Staged.stage (fun () ->
+                  ignore (O.Translate_sql.eval db ~doc:"b" O.Encoding.Global path)));
+         ])
+       queries)
+
+(* --- E8: ablation, dewey vs ordpath careting --------------------------- *)
+
+let caret_ablation_tests =
+  let mk name enc =
+    let adb = Reldb.Db.create () in
+    let flat = Xmllib.Generator.flat ~tag:"item" ~count:200 () in
+    let store = O.Api.Store.create adb ~name:"c" enc flat in
+    Test.make ~name (Staged.stage (fun () -> insert_delete store 50))
+  in
+  Test.make_grouped ~name:"e8-ablation-caret"
+    [ mk "dewey" O.Encoding.Dewey_enc; mk "ordpath" O.Encoding.Dewey_caret ]
+
+(* --- E9: steady-state mixed operation (one ordered read + one
+   random-position insert/delete pair) ------------------------------------ *)
+
+let mixed_tests =
+  let mk enc =
+    let mdb = Reldb.Db.create () in
+    let store =
+      O.Api.Store.create mdb ~name:"m" enc (O.Workload.dataset ~scale:1)
+    in
+    let container =
+      List.hd (O.Api.Store.query_ids store O.Workload.container_path)
+    in
+    let rng = Xmllib.Rng.create 5 in
+    Test.make
+      ~name:(O.Encoding.name enc)
+      (Staged.stage (fun () ->
+           ignore
+             (O.Api.Store.query store
+                "/site/open_auctions/open_auction/bidder[1]");
+           let n = O.Api.Store.count store "/site/open_auctions/open_auction" in
+           ignore
+             (O.Api.Store.insert_subtree store ~parent:container
+                ~pos:(1 + Xmllib.Rng.int rng n)
+                O.Workload.small_fragment);
+           (* delete the fragment we just inserted to stay steady-state *)
+           let v =
+             List.hd
+               (O.Api.Store.query_ids store "/site/open_auctions/bidder[1]")
+           in
+           ignore (O.Api.Store.delete_subtree store ~id:v)))
+  in
+  Test.make_grouped ~name:"e9-mixed"
+    (List.map mk (encodings @ [ O.Encoding.Global_gap; O.Encoding.Dewey_caret ]))
+
+(* --- E7: shredding throughput ------------------------------------------ *)
+
+let shred_tests =
+  let xml_text = Xmllib.Printer.document_to_string doc in
+  Test.make_grouped ~name:"e7-shred"
+    (List.map
+       (fun enc ->
+         Test.make
+           ~name:(O.Encoding.name enc)
+           (Staged.stage (fun () ->
+                let sdb = Reldb.Db.create () in
+                ignore (O.Shred.shred sdb ~doc:"sh" enc doc))))
+       encodings
+    @ [
+        Test.make ~name:"dewey-streaming"
+          (Staged.stage (fun () ->
+               let sdb = Reldb.Db.create () in
+               ignore
+                 (O.Shred.shred_stream sdb ~doc:"sh" O.Encoding.Dewey_enc
+                    xml_text)));
+      ])
+
+(* --- E2: storage accounting (measured once, printed, not timed) -------- *)
+
+let print_storage () =
+  print_endline "e2-storage (scale 1):";
+  List.iter
+    (fun ((_ : O.Encoding.t), store) ->
+      print_endline
+        ("  " ^ Format.asprintf "%a" O.Storage.pp (O.Api.Store.storage store)))
+    stores
+
+(* --- harness ------------------------------------------------------------ *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+          if ns > 1_000_000.0 then
+            Printf.printf "  %-44s %10.2f ms/run\n" name (ns /. 1e6)
+          else Printf.printf "  %-44s %10.1f us/run\n" name (ns /. 1e3)
+      | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
+    rows
+
+let () =
+  print_storage ();
+  List.iter
+    (fun tests ->
+      Printf.printf "\n%s:\n%!" (Test.name tests);
+      print_results (benchmark tests))
+    [
+      query_tests; single_statement_tests; update_tests; scaling_tests;
+      ablation_tests; caret_ablation_tests; mixed_tests; shred_tests;
+    ];
+  print_endline "\nbench: done"

@@ -1,0 +1,199 @@
+(* oxq — ordered-XML query tool.
+
+   A small CLI over the library: load an XML file, shred it under a chosen
+   order encoding, and run XPath queries (or dump the SQL they translate to,
+   or reshape statistics). An in-process demonstration of the full stack.
+
+     oxq query  file.xml '/a/b[1]' --encoding dewey
+     oxq sql    file.xml '/a/b[last()]' --encoding global
+     oxq stats  file.xml
+     oxq tables file.xml --encoding local *)
+
+module O = Ordered_xml
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* .sql files are engine dumps (see `oxq dump`); anything else is XML *)
+let load_store path enc =
+  if Filename.check_suffix path ".sql" then
+    let db = Reldb.Db.restore_from_file path in
+    (db, O.Api.Store.open_existing db ~name:"doc" enc)
+  else begin
+    let doc = Xmllib.Parser.parse_document (read_file path) in
+    let db = Reldb.Db.create () in
+    (db, O.Api.Store.create db ~name:"doc" enc doc)
+  end
+
+let enc_arg =
+  let parse s =
+    match O.Encoding.of_name s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown encoding %s" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (O.Encoding.name e) in
+  Cmdliner.Arg.conv (parse, print)
+
+let encoding =
+  Cmdliner.Arg.(
+    value
+    & opt enc_arg O.Encoding.Dewey_enc
+    & info [ "e"; "encoding" ] ~docv:"ENC"
+        ~doc:"Order encoding: global, global-gap, local or dewey.")
+
+let file =
+  Cmdliner.Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML input.")
+
+let xpath =
+  Cmdliner.Arg.(
+    required & pos 1 (some string) None & info [] ~docv:"XPATH" ~doc:"Query.")
+
+let wrap f =
+  try
+    f ();
+    0
+  with
+  | Xmllib.Parser.Parse_error m
+  | O.Xpath_parser.Parse_error m
+  | O.Flwor.Parse_error m
+  | O.Flwor.Eval_error m
+  | Reldb.Db.Sql_error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+
+let query_cmd =
+  let run enc path q =
+    wrap (fun () ->
+        let _, store = load_store path enc in
+        List.iter
+          (fun node ->
+            print_endline (Xmllib.Printer.node_to_string node))
+          (O.Api.Store.query_nodes store q))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "query" ~doc:"Evaluate an XPath query; print matches as XML.")
+    Cmdliner.Term.(const run $ encoding $ file $ xpath)
+
+let sql_cmd =
+  let run enc path q =
+    wrap (fun () ->
+        let _, store = load_store path enc in
+        let r = O.Api.Store.query store q in
+        Printf.printf "-- step-at-a-time: %d statement(s), %d result node(s)\n"
+          r.O.Translate.statements
+          (List.length r.O.Translate.rows);
+        List.iter print_endline r.O.Translate.sql_log;
+        match O.Xpath_parser.parse_union q with
+        | [ path ] when O.Translate_sql.eligible enc path ->
+            Printf.printf "-- single-statement form:\n%s\n"
+              (O.Translate_sql.translate ~doc:"doc" enc path)
+        | _ -> ())
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sql" ~doc:"Show the SQL a query translates to.")
+    Cmdliner.Term.(const run $ encoding $ file $ xpath)
+
+let stats_cmd =
+  let run path =
+    wrap (fun () ->
+        let ic = open_in_bin path in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let doc = Xmllib.Parser.parse_document src in
+        Format.printf "%a@." Xmllib.Stats.pp (Xmllib.Stats.compute doc))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "stats" ~doc:"Structural statistics of the document.")
+    Cmdliner.Term.(const run $ file)
+
+let tables_cmd =
+  let run enc path =
+    wrap (fun () ->
+        let db, store = load_store path enc in
+        ignore store;
+        let tname = O.Encoding.table_name ~doc:"doc" enc in
+        print_string
+          (Reldb.Db.render
+             (Reldb.Db.exec db (Printf.sprintf "SELECT * FROM %s" tname)));
+        print_newline ())
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "tables" ~doc:"Dump the shredded edge table.")
+    Cmdliner.Term.(const run $ encoding $ file)
+
+let flwor_cmd =
+  let q =
+    Cmdliner.Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"FLWOR" ~doc:"Query.")
+  in
+  let run enc path q =
+    wrap (fun () ->
+        let _, store = load_store path enc in
+        List.iter
+          (fun n -> print_string (Xmllib.Printer.pretty ~indent:2 n))
+          (O.Api.Store.flwor store q))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "flwor"
+       ~doc:"Run a FLWOR-lite publishing query (for/let/where/order/return).")
+    Cmdliner.Term.(const run $ encoding $ file $ q)
+
+let validate_cmd =
+  let dtd_file =
+    Cmdliner.Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DTD" ~doc:"DTD file (ELEMENT/ATTLIST declarations).")
+  in
+  let run path dtd_path =
+    wrap (fun () ->
+        let doc = Xmllib.Parser.parse_document (read_file path) in
+        let dtd =
+          try Xmllib.Dtd.parse (read_file dtd_path)
+          with Xmllib.Dtd.Parse_error m ->
+            Printf.eprintf "DTD error: %s\n" m;
+            exit 1
+        in
+        match Xmllib.Dtd.validate dtd doc with
+        | Ok () -> print_endline "valid"
+        | Error msgs ->
+            List.iter (fun m -> Printf.printf "invalid: %s\n" m) msgs;
+            exit 1)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "validate" ~doc:"Validate a document against a DTD.")
+    Cmdliner.Term.(const run $ file $ dtd_file)
+
+let dump_cmd =
+  let out =
+    Cmdliner.Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT.sql" ~doc:"Output SQL script.")
+  in
+  let run enc path out =
+    wrap (fun () ->
+        let db, _ = load_store path enc in
+        Reldb.Db.dump_to_file db out;
+        Printf.printf "wrote %s\n" out)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "dump"
+       ~doc:
+         "Shred the document and write the whole database as a SQL script \
+          (reload it by passing the .sql file to query/sql/tables).")
+    Cmdliner.Term.(const run $ encoding $ file $ out)
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "oxq" ~version:"1.0.0"
+      ~doc:"Store and query ordered XML in a relational engine."
+  in
+  exit
+    (Cmdliner.Cmd.eval'
+       (Cmdliner.Cmd.group info
+          [ query_cmd; sql_cmd; stats_cmd; tables_cmd; dump_cmd; flwor_cmd; validate_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_report.ml: List Ordered_xml Printf Reldb String Xmllib

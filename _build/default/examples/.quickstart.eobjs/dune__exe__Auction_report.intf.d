@@ -1,0 +1,1 @@
+examples/auction_report.mli:

@@ -1,0 +1,1 @@
+examples/auction_site.ml: List Ordered_xml Printf Reldb String Unix Xmllib

@@ -1,0 +1,1 @@
+examples/document_editor.ml: Format List Ordered_xml Printf Reldb String Unix Xmllib

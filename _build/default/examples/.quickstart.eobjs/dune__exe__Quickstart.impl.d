@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Ordered_xml Printf Reldb String Xmllib

@@ -1,0 +1,1 @@
+examples/schema_pipeline.ml: List Ordered_xml Printf Reldb String Xmllib

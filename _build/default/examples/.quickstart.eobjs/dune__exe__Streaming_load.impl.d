@@ -1,0 +1,1 @@
+examples/streaming_load.ml: Filename List Ordered_xml Printf Reldb String Sys Unix Xmllib

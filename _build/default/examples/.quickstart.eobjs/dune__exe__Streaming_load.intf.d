@@ -1,0 +1,1 @@
+examples/streaming_load.mli:

@@ -1,0 +1,77 @@
+(* Quickstart: store an ordered XML document in the relational engine,
+   query it with XPath, update it, and get the document back — all through
+   the public API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module O = Ordered_xml
+module T = Xmllib.Types
+
+let catalog_xml =
+  {|<catalog>
+  <book isbn="0201896834" year="1997">
+    <title>The Art of Computer Programming, Vol. 1</title>
+    <author>Donald E. Knuth</author>
+    <price>79.99</price>
+  </book>
+  <book isbn="0262033844" year="2009">
+    <title>Introduction to Algorithms</title>
+    <author>Thomas H. Cormen</author>
+    <price>94.50</price>
+  </book>
+  <book isbn="0122386610" year="2001">
+    <title>Database Systems: The Complete Book</title>
+    <author>Hector Garcia-Molina</author>
+    <price>58.00</price>
+  </book>
+</catalog>|}
+
+let () =
+  (* 1. parse *)
+  let doc = Xmllib.Parser.parse_document catalog_xml in
+
+  (* 2. shred into a relational database under the Dewey order encoding *)
+  let db = Reldb.Db.create () in
+  let store = O.Api.Store.create db ~name:"catalog" O.Encoding.Dewey_enc doc in
+  Printf.printf "Shredded %d nodes into table %s\n\n"
+    (Reldb.Table.row_count (Reldb.Db.table db "catalog_dewey"))
+    "catalog_dewey";
+
+  (* 3. ordered XPath queries run as SQL over the shredded relations *)
+  let show q =
+    Printf.printf "%-45s -> %s\n" q
+      (String.concat " | " (O.Api.Store.query_values store q))
+  in
+  show "/catalog/book[1]/title";
+  show "/catalog/book[last()]/title";
+  show "/catalog/book[price > 60]/title";
+  show "/catalog/book[@year = '2009']/author";
+  show "/catalog/book[1]/following-sibling::book/title";
+
+  (* peek behind the curtain: the SQL a query turns into *)
+  let result = O.Api.Store.query store "/catalog/book[2]/title" in
+  Printf.printf "\n/catalog/book[2]/title issued %d SQL statements:\n"
+    result.O.Translate.statements;
+  List.iter (fun sql -> Printf.printf "  %s\n" sql) result.O.Translate.sql_log;
+
+  (* 4. order-preserving update: insert a new book between #1 and #2 *)
+  let new_book =
+    T.element "book"
+      ~attrs:[ T.attr "isbn" "0596514921"; T.attr "year" "2008" ]
+      [
+        T.element "title" [ T.text "Real World Haskell" ];
+        T.element "author" [ T.text "Bryan O'Sullivan" ];
+        T.element "price" [ T.text "49.99" ];
+      ]
+  in
+  let root = O.Api.Store.root_id store in
+  let stats = O.Api.Store.insert_subtree store ~parent:root ~pos:2 new_book in
+  Printf.printf
+    "\nInserted %d rows at position 2 (renumbered %d existing rows)\n"
+    stats.O.Update.rows_inserted stats.O.Update.rows_renumbered;
+  show "/catalog/book[2]/title";
+
+  (* 5. reconstruct the whole (ordered!) document from the relations *)
+  let doc' = O.Api.Store.document store in
+  Printf.printf "\nReconstructed document:\n%s\n"
+    (Xmllib.Printer.pretty (T.Element doc'.T.root))

@@ -1,0 +1,93 @@
+(* Schema-driven pipeline: parse a DTD, sample random valid documents from
+   it, validate, shred them under every encoding, and verify the stores'
+   structural invariants — the full contract chain from schema to storage.
+
+   Run with: dune exec examples/schema_pipeline.exe *)
+
+module O = Ordered_xml
+module D = Xmllib.Dtd
+
+let order_dtd =
+  {|
+  <!ELEMENT orders (order+)>
+  <!ELEMENT order (customer, line+, note?)>
+  <!ATTLIST order id CDATA #REQUIRED status CDATA "open">
+  <!ELEMENT customer (#PCDATA)>
+  <!ELEMENT line (sku, qty, (giftwrap | discount)?)>
+  <!ELEMENT sku (#PCDATA)>
+  <!ELEMENT qty (#PCDATA)>
+  <!ELEMENT giftwrap EMPTY>
+  <!ELEMENT discount (#PCDATA)>
+  <!ELEMENT note (#PCDATA | sku)*>
+  |}
+
+let () =
+  let dtd = D.parse order_dtd in
+  Printf.printf "DTD declares %d elements\n" (List.length (D.element_names dtd));
+
+  (* sample a batch of random valid documents *)
+  let rng = Xmllib.Rng.create 2026 in
+  let docs = List.init 5 (fun _ -> D.sample dtd ~root:"orders" rng) in
+  List.iteri
+    (fun i doc ->
+      let ok = D.validate dtd doc = Ok () in
+      let stats = Xmllib.Stats.compute doc in
+      Printf.printf "sample %d: %3d elements, valid: %b\n" i
+        stats.Xmllib.Stats.elements ok)
+    docs;
+
+  (* shred the largest sample under every encoding and audit the stores *)
+  let doc =
+    List.fold_left
+      (fun best d ->
+        if
+          (Xmllib.Stats.compute d).Xmllib.Stats.elements
+          > (Xmllib.Stats.compute best).Xmllib.Stats.elements
+        then d
+        else best)
+      (List.hd docs) docs
+  in
+  let db = Reldb.Db.create () in
+  print_newline ();
+  List.iter
+    (fun enc ->
+      let store = O.Api.Store.create db ~name:"orders" enc doc in
+      let orders = O.Api.Store.count store "/orders/order" in
+      let audited =
+        match O.Api.Store.check store with Ok () -> "invariants OK" | Error m -> String.concat "; " m
+      in
+      Printf.printf "%-11s %d orders, roundtrip %b, %s\n" (O.Encoding.name enc)
+        orders
+        (Xmllib.Types.equal_document doc (O.Api.Store.document store))
+        audited;
+      O.Api.Store.drop store)
+    O.Encoding.all;
+
+  (* a validating editor: reject updates that would break the schema *)
+  print_newline ();
+  let store = O.Api.Store.create db ~name:"orders" O.Encoding.Dewey_caret doc in
+  let try_insert label fragment =
+    let order = List.hd (O.Api.Store.query_ids store "/orders/order[1]") in
+    (* insert right after the last <line>, keeping (customer, line+, note?) *)
+    let pos = 1 + 1 + O.Api.Store.count store "/orders/order[1]/line" in
+    O.Api.Store.atomically store (fun () ->
+        ignore (O.Api.Store.insert_subtree store ~parent:order ~pos fragment);
+        match D.validate dtd (O.Api.Store.document store) with
+        | Ok () -> Printf.printf "%-28s accepted\n" label
+        | Error (m :: _) ->
+            Printf.printf "%-28s rejected (%s)\n" label m;
+            failwith "rolled back"
+        | Error [] -> assert false)
+  in
+  let line =
+    Xmllib.Types.element "line"
+      [
+        Xmllib.Types.element "sku" [ Xmllib.Types.text "A-1" ];
+        Xmllib.Types.element "qty" [ Xmllib.Types.text "2" ];
+      ]
+  in
+  (try try_insert "append a valid <line>" line with Failure _ -> ());
+  (try try_insert "append a bogus <pallet>" (Xmllib.Types.element "pallet" [])
+   with Failure _ -> ());
+  Printf.printf "store still valid after the rejected edit: %b\n"
+    (D.validate dtd (O.Api.Store.document store) = Ok ())

@@ -1,0 +1,1 @@
+lib/core/api.ml: Doc_index Encoding Flwor Integrity List Node_row Reconstruct Reldb Shred Storage Translate Update Xmllib

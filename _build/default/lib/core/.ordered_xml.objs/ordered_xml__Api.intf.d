@@ -1,0 +1,1 @@
+lib/core/api.mli: Encoding Reldb Storage Translate Update Xmllib

@@ -1,0 +1,1 @@
+lib/core/dewey.ml: Array Buffer Bytes Char List Stdlib String

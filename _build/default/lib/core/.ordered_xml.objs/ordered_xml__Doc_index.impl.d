@@ -1,0 +1,1 @@
+lib/core/doc_index.ml: Array Buffer Dewey List Printf Xmllib

@@ -1,0 +1,1 @@
+lib/core/doc_index.mli: Dewey Xmllib

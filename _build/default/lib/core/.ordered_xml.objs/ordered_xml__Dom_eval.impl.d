@@ -1,0 +1,1 @@
+lib/core/dom_eval.ml: Doc_index Float List Stdlib String Xpath_ast

@@ -1,0 +1,1 @@
+lib/core/dom_eval.mli: Doc_index Xpath_ast

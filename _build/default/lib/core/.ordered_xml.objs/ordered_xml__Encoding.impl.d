@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Doc_index Float Printf Reldb String

@@ -1,0 +1,1 @@
+lib/core/encoding.mli: Doc_index Reldb

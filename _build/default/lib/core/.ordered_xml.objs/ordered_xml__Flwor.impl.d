@@ -1,0 +1,1 @@
+lib/core/flwor.ml: Doc_index Encoding Float List Node_row Option Printf Reconstruct Reldb String Translate Xmllib Xpath_ast Xpath_parser

@@ -1,0 +1,1 @@
+lib/core/flwor.mli: Encoding Reldb Xmllib

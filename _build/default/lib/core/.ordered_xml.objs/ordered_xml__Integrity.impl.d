@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Doc_index Encoding Hashtbl List Node_row Option Printf Reldb String

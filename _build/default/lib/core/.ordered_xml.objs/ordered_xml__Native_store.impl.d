@@ -1,0 +1,1 @@
+lib/core/native_store.ml: Doc_index Dom_eval List Xmllib Xpath_parser

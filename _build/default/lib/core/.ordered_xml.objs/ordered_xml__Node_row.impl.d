@@ -1,0 +1,1 @@
+lib/core/node_row.ml: Array Dewey Doc_index Encoding List Reldb Stdlib String

@@ -1,0 +1,1 @@
+lib/core/node_row.mli: Dewey Doc_index Encoding Reldb

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Buffer Dewey Doc_index Encoding Hashtbl List Node_row Printf Reldb Temp Translate Xmllib

@@ -1,0 +1,1 @@
+lib/core/reconstruct.mli: Encoding Node_row Reldb Xmllib

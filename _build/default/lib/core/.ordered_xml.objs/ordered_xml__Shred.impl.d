@@ -1,0 +1,1 @@
+lib/core/shred.ml: Array Dewey Doc_index Encoding List Option Reldb Xmllib

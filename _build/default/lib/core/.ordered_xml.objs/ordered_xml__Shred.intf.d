@@ -1,0 +1,1 @@
+lib/core/shred.mli: Doc_index Encoding Reldb Xmllib

@@ -1,0 +1,1 @@
+lib/core/storage.ml: Array Encoding Format Hashtbl List Reldb Seq String

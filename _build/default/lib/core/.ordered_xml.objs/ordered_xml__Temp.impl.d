@@ -1,0 +1,1 @@
+lib/core/temp.ml: Fun List Printf Reldb String

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Dewey Doc_index Encoding Float Hashtbl Int List Logs Node_row Obj Option Printf Reldb Set Stdlib String Temp Xpath_ast Xpath_parser

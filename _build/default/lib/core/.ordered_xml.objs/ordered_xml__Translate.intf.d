@@ -1,0 +1,1 @@
+lib/core/translate.mli: Encoding Node_row Reldb Xpath_ast

@@ -1,0 +1,1 @@
+lib/core/translate_sql.ml: Encoding Float List Node_row Printf Reldb String Translate Xpath_ast

@@ -1,0 +1,1 @@
+lib/core/translate_sql.mli: Encoding Reldb Translate Xpath_ast

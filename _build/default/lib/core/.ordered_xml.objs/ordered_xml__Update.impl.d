@@ -1,0 +1,1 @@
+lib/core/update.ml: Array Dewey Doc_index Encoding Float Fun List Logs Node_row Option Printf Reconstruct Reldb Shred String Xmllib

@@ -1,0 +1,1 @@
+lib/core/update.mli: Encoding Reldb Xmllib

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Doc_index Dom_eval Xmllib Xpath_parser

@@ -1,0 +1,1 @@
+lib/core/xpath_ast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/core/xpath_lexer.ml: List Printf String Xpath_ast

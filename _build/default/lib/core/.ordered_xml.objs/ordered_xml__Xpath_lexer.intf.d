@@ -1,0 +1,1 @@
+lib/core/xpath_lexer.mli: Xpath_ast

@@ -1,0 +1,1 @@
+lib/core/xpath_parser.ml: List Printf Xpath_ast Xpath_lexer

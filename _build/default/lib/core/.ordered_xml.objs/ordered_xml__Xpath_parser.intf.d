@@ -1,0 +1,1 @@
+lib/core/xpath_parser.mli: Xpath_ast

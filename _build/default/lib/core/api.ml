@@ -1,0 +1,73 @@
+module Store = struct
+  type t = { db : Reldb.Db.t; name : string; enc : Encoding.t }
+
+  let create ?gap db ~name enc doc =
+    ignore (Shred.shred ?gap db ~doc:name enc doc);
+    { db; name; enc }
+
+  let open_existing db ~name enc =
+    (* probe the table so a missing store fails loudly *)
+    ignore (Reldb.Db.table db (Encoding.table_name ~doc:name enc));
+    { db; name; enc }
+
+  let drop t = Encoding.drop_tables t.db ~doc:t.name t.enc
+
+  let db t = t.db
+  let name t = t.name
+  let encoding t = t.enc
+
+  let query t xpath = Translate.eval_string t.db ~doc:t.name t.enc xpath
+
+  let query_ids t xpath =
+    List.map (fun (r : Node_row.t) -> r.Node_row.id) (query t xpath).Translate.rows
+
+  let subtree t ~id = Reconstruct.subtree t.db ~doc:t.name t.enc ~id
+  let serialize t ~id = Reconstruct.serialize_subtree t.db ~doc:t.name t.enc ~id
+
+  let query_nodes t xpath =
+    List.map (fun id -> subtree t ~id) (query_ids t xpath)
+
+  let query_values t xpath =
+    List.map
+      (fun (r : Node_row.t) ->
+        match r.Node_row.kind with
+        | Doc_index.Elem ->
+            Xmllib.Types.text_content (subtree t ~id:r.Node_row.id)
+        | _ -> r.Node_row.value)
+      (query t xpath).Translate.rows
+
+  let count t xpath = List.length (query t xpath).Translate.rows
+
+  let flwor t q = Flwor.run t.db ~doc:t.name t.enc q
+
+  let insert_subtree t ~parent ~pos fragment =
+    Update.insert_subtree t.db ~doc:t.name t.enc ~parent ~pos fragment
+
+  let insert_forest t ~parent ~pos fragments =
+    Update.insert_forest t.db ~doc:t.name t.enc ~parent ~pos fragments
+
+  let append_child t ~parent fragment =
+    Update.append_child t.db ~doc:t.name t.enc ~parent fragment
+
+  let delete_subtree t ~id = Update.delete_subtree t.db ~doc:t.name t.enc ~id
+
+  let move_subtree t ~id ~parent ~pos =
+    Update.move_subtree t.db ~doc:t.name t.enc ~id ~parent ~pos
+
+  let replace_subtree t ~id fragment =
+    Update.replace_subtree t.db ~doc:t.name t.enc ~id fragment
+  let set_text t ~id value = Update.set_text t.db ~doc:t.name t.enc ~id value
+
+  let set_attribute t ~id ~name ~value =
+    Update.set_attribute t.db ~doc:t.name t.enc ~id ~name ~value
+
+  let remove_attribute t ~id ~name =
+    Update.remove_attribute t.db ~doc:t.name t.enc ~id ~name
+
+  let atomically t f = Reldb.Db.with_transaction t.db f
+
+  let document t = Reconstruct.document t.db ~doc:t.name t.enc
+  let root_id t = Reconstruct.root_id t.db ~doc:t.name t.enc
+  let storage t = Storage.measure t.db ~doc:t.name t.enc
+  let check t = Integrity.check t.db ~doc:t.name t.enc
+end

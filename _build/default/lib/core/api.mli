@@ -1,0 +1,89 @@
+(** User-facing facade: an ordered XML store inside a relational engine.
+
+    {[
+      let db = Reldb.Db.create () in
+      let doc = Xmllib.Parser.parse_document xml_text in
+      let store = Api.Store.create db ~name:"books" Encoding.Dewey_enc doc in
+      let titles = Api.Store.query_values store "/catalog/book[2]/title" in
+      ...
+    ]} *)
+
+module Store : sig
+  type t
+
+  val create :
+    ?gap:int ->
+    Reldb.Db.t ->
+    name:string ->
+    Encoding.t ->
+    Xmllib.Types.document ->
+    t
+  (** Shred the document into tables named [<name>_<encoding>].
+      @raise Reldb.Db.Sql_error if the store already exists. *)
+
+  val open_existing : Reldb.Db.t -> name:string -> Encoding.t -> t
+  (** Attach to tables created earlier. @raise Reldb.Db.Sql_error if the
+      edge table is missing. *)
+
+  val drop : t -> unit
+
+  val db : t -> Reldb.Db.t
+  val name : t -> string
+  val encoding : t -> Encoding.t
+
+  (** {2 Queries} *)
+
+  val query : t -> string -> Translate.result
+  (** Evaluate an XPath string. @raise Xpath_parser.Parse_error on bad
+      syntax. *)
+
+  val query_ids : t -> string -> int list
+  (** Node ids in document order. *)
+
+  val query_nodes : t -> string -> Xmllib.Types.node list
+  (** Result subtrees, reconstructed (attribute results are rendered as
+      single-attribute elements named after their owner is unknown — they
+      raise [Invalid_argument]; use {!query_values} for attributes). *)
+
+  val query_values : t -> string -> string list
+  (** XPath string-values of the result nodes. *)
+
+  val count : t -> string -> int
+
+  val flwor : t -> string -> Xmllib.Types.node list
+  (** Run a FLWOR-lite publishing query (see {!Flwor}). *)
+
+  (** {2 Updates} *)
+
+  val insert_subtree : t -> parent:int -> pos:int -> Xmllib.Types.node -> Update.stats
+
+  (** Bulk sibling insertion with one renumbering pass, see
+      {!Update.insert_forest}. *)
+  val insert_forest :
+    t -> parent:int -> pos:int -> Xmllib.Types.node list -> Update.stats
+  val append_child : t -> parent:int -> Xmllib.Types.node -> Update.stats
+  val delete_subtree : t -> id:int -> Update.stats
+  val move_subtree : t -> id:int -> parent:int -> pos:int -> Update.stats
+  val replace_subtree : t -> id:int -> Xmllib.Types.node -> Update.stats
+  val set_text : t -> id:int -> string -> Update.stats
+  val set_attribute : t -> id:int -> name:string -> value:string -> Update.stats
+  val remove_attribute : t -> id:int -> name:string -> Update.stats
+
+  val atomically : t -> (unit -> 'a) -> 'a
+  (** Run a batch of updates in one engine transaction: an exception rolls
+      every row of every table back (see {!Reldb.Db.with_transaction}). *)
+
+  (** {2 Whole-document access} *)
+
+  val document : t -> Xmllib.Types.document
+  val root_id : t -> int
+  val subtree : t -> id:int -> Xmllib.Types.node
+
+  (** Single-pass streaming serialization of a subtree, see
+      {!Reconstruct.serialize_subtree}. *)
+  val serialize : t -> id:int -> string
+  val storage : t -> Storage.t
+
+  val check : t -> (unit, string list) result
+  (** Verify the encoding's structural invariants (see {!Integrity}). *)
+end

@@ -1,0 +1,149 @@
+module T = Xmllib.Types
+
+type kind = Elem | Text_node | Attr | Comment_node | Pi_node
+
+let kind_code = function
+  | Elem -> 0
+  | Text_node -> 1
+  | Attr -> 2
+  | Comment_node -> 3
+  | Pi_node -> 4
+
+let kind_of_code = function
+  | 0 -> Elem
+  | 1 -> Text_node
+  | 2 -> Attr
+  | 3 -> Comment_node
+  | 4 -> Pi_node
+  | c -> invalid_arg (Printf.sprintf "Doc_index.kind_of_code: %d" c)
+
+type record = {
+  id : int;
+  parent : int;
+  kind : kind;
+  tag : string;
+  value : string;
+  pos : int;
+  size : int;
+  dewey : Dewey.t;
+}
+
+type t = {
+  recs : record array;
+  kids : int list array;  (* non-attribute children per record *)
+  atts : int list array;  (* attribute records per record *)
+}
+
+let build (doc : T.document) =
+  let out = ref [] in
+  let count = ref 0 in
+  (* returns the number of records in the subtree including self *)
+  let rec walk node ~parent ~pos ~dewey =
+    let id = !count in
+    incr count;
+    match node with
+    | T.Text s ->
+        out := { id; parent; kind = Text_node; tag = ""; value = s; pos; size = 0; dewey } :: !out;
+        1
+    | T.Comment s ->
+        out := { id; parent; kind = Comment_node; tag = ""; value = s; pos; size = 0; dewey } :: !out;
+        1
+    | T.Pi { target; data } ->
+        out := { id; parent; kind = Pi_node; tag = target; value = data; pos; size = 0; dewey } :: !out;
+        1
+    | T.Element e ->
+        let m = List.length e.T.attrs in
+        let attr_records =
+          List.mapi
+            (fun j (a : T.attribute) ->
+              let aid = !count in
+              incr count;
+              {
+                id = aid;
+                parent = id;
+                kind = Attr;
+                tag = a.T.attr_name;
+                value = a.T.attr_value;
+                pos = j - m;
+                dewey = Dewey.child (Dewey.child dewey 0) (j + 1);
+                size = 0;
+              })
+            e.T.attrs
+        in
+        let child_sizes =
+          List.mapi
+            (fun k c ->
+              walk c ~parent:id ~pos:(k + 1) ~dewey:(Dewey.child dewey (k + 1)))
+            e.T.children
+        in
+        let size = m + List.fold_left ( + ) 0 child_sizes in
+        out :=
+          List.rev_append attr_records
+            ({ id; parent; kind = Elem; tag = e.T.tag; value = ""; pos; size; dewey }
+            :: !out);
+        size + 1
+  in
+  ignore (walk (T.Element doc.T.root) ~parent:(-1) ~pos:1 ~dewey:Dewey.root);
+  let n = !count in
+  let recs =
+    Array.make n
+      { id = 0; parent = -1; kind = Elem; tag = ""; value = ""; pos = 1; size = 0; dewey = Dewey.root }
+  in
+  List.iter (fun r -> recs.(r.id) <- r) !out;
+  let kids = Array.make n [] and atts = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = recs.(i) in
+    if r.parent >= 0 then
+      if r.kind = Attr then atts.(r.parent) <- i :: atts.(r.parent)
+      else kids.(r.parent) <- i :: kids.(r.parent)
+  done;
+  { recs; kids; atts }
+
+let records t = t.recs
+let length t = Array.length t.recs
+let record t i = t.recs.(i)
+let children t i = t.kids.(i)
+let attributes t i = t.atts.(i)
+
+let parent_of t i =
+  let p = t.recs.(i).parent in
+  if p < 0 then None else Some p
+
+let ancestors t i =
+  (* closest first: parent, grandparent, ..., root *)
+  let rec go acc i =
+    match parent_of t i with None -> List.rev acc | Some p -> go (p :: acc) p
+  in
+  go [] i
+
+let string_value t i =
+  let r = t.recs.(i) in
+  match r.kind with
+  | Text_node | Attr | Comment_node | Pi_node -> r.value
+  | Elem ->
+      let buf = Buffer.create 32 in
+      (* descendants are the id range (i, i + size]; texts only *)
+      for j = i + 1 to i + r.size do
+        if t.recs.(j).kind = Text_node then Buffer.add_string buf t.recs.(j).value
+      done;
+      Buffer.contents buf
+
+let is_descendant t ~ancestor i =
+  (* valid at build time, when ids are preorder ranks *)
+  i > ancestor && i <= ancestor + t.recs.(ancestor).size
+
+let rec to_node t i =
+  let r = t.recs.(i) in
+  match r.kind with
+  | Text_node -> T.Text r.value
+  | Comment_node -> T.Comment r.value
+  | Pi_node -> T.Pi { target = r.tag; data = r.value }
+  | Attr -> invalid_arg "Doc_index.to_node: attribute record"
+  | Elem ->
+      let attrs =
+        List.map
+          (fun a ->
+            { T.attr_name = t.recs.(a).tag; attr_value = t.recs.(a).value })
+          t.atts.(i)
+      in
+      T.Element { T.tag = r.tag; attrs; children = List.map (to_node t) t.kids.(i) }

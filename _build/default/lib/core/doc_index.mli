@@ -1,0 +1,63 @@
+(** Flattened, indexed view of a document.
+
+    Every node (including attributes) becomes a record in {e record order}:
+    preorder, with an element's attributes placed immediately after it and
+    before its children — the order in which a SAX scan of the serialized
+    document meets begin tags and attributes. Record ids are therefore
+    preorder ranks at build time, which is also the id assignment the
+    shredder uses, so oracle results and shredded-store results are directly
+    comparable on a freshly shredded document.
+
+    Sibling positions: regular children (elements, text, comments, PIs) are
+    numbered 1..n; the m attributes of an element are numbered -m..-1 in
+    source order, so ordering by sibling position puts attributes first and
+    keeps (parent, position) unique — exactly the LOCAL encoding layout. *)
+
+type kind = Elem | Text_node | Attr | Comment_node | Pi_node
+
+val kind_code : kind -> int
+(** Stable integer codes (0..4) used by the relational encodings. *)
+
+val kind_of_code : int -> kind
+
+type record = {
+  id : int;
+  parent : int;  (** -1 for the root *)
+  kind : kind;
+  tag : string;  (** element/attribute name or PI target; [""] otherwise *)
+  value : string;  (** text/attr/comment content; [""] for elements *)
+  pos : int;  (** sibling position (see above) *)
+  size : int;  (** records in the subtree, excluding this record *)
+  dewey : Dewey.t;
+}
+
+type t
+
+val build : Xmllib.Types.document -> t
+
+val records : t -> record array
+(** In record order; [records.(i).id = i]. *)
+
+val length : t -> int
+val record : t -> int -> record
+
+val children : t -> int -> int list
+(** Non-attribute children, in document order. *)
+
+val attributes : t -> int -> int list
+(** Attribute records, in source order. *)
+
+val parent_of : t -> int -> int option
+
+val ancestors : t -> int -> int list
+(** Strict ancestors, closest first. *)
+
+val string_value : t -> int -> string
+(** XPath string-value: text/attr records yield their value; elements yield
+    the concatenation of descendant text in document order. *)
+
+val is_descendant : t -> ancestor:int -> int -> bool
+
+val to_node : t -> int -> Xmllib.Types.node
+(** Rebuild the subtree rooted at an element/text/comment/PI record.
+    @raise Invalid_argument on an attribute record. *)

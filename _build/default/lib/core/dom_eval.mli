@@ -1,0 +1,22 @@
+(** Reference XPath evaluator over the in-memory {!Doc_index}.
+
+    This is the test oracle: a direct tree-walking implementation of the
+    XPath subset with full XPath 1.0 ordering semantics (forward axes in
+    document order, reverse axes in reverse document order for positional
+    predicates, node-set results in document order). The relational
+    translations are checked against it. *)
+
+val eval : Doc_index.t -> Xpath_ast.path -> int list
+(** Evaluate an absolute path from the (virtual) document root. Results are
+    record ids in document order, without duplicates. Relative paths are
+    evaluated with the root element as context. *)
+
+val eval_union : Doc_index.t -> Xpath_ast.union -> int list
+(** Union of the alternatives, deduplicated, in document order. *)
+
+val eval_from : Doc_index.t -> int list -> Xpath_ast.path -> int list
+(** Evaluate from explicit context nodes (absolute paths restart from the
+    document root regardless). *)
+
+val string_value : Doc_index.t -> int -> string
+(** Re-export of {!Doc_index.string_value} for result checking. *)

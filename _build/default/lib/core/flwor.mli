@@ -1,0 +1,42 @@
+(** FLWOR-lite: the XQuery-style publishing layer the shredding systems of
+    the paper's era (XPERANTO, SilkRoute, Niagara) put on top of the
+    relational store — iterate over node sequences, filter, sort, and
+    construct new XML.
+
+    Supported grammar (whitespace-insensitive):
+    {v
+    query   ::= (for | let | where | order)* 'return' ctor
+    for     ::= 'for' '$'name 'in' pathexpr
+    let     ::= 'let' '$'name ':=' pathexpr
+    where   ::= 'where' cond ('and' cond)*
+    order   ::= 'order' 'by' pathexpr ('ascending' | 'descending')?
+    pathexpr::= '/'path | '$'name ('/' relpath)?
+    cond    ::= pathexpr cmp (literal | pathexpr) | pathexpr  (existence)
+    ctor    ::= '<'tag (attr '=' '"' (text | '{'pathexpr'}')* '"')* '>'
+                (ctor | text | '{'pathexpr'}')* '</'tag'>'
+              | '<'tag .../>'
+    v}
+
+    Splices ([{$a/rel/path}]) inside element content insert the selected
+    nodes (attributes splice as their text value); inside attribute values
+    they insert the string-value of the first selected node. Variables bind
+    single nodes ([for]) or whole node sequences ([let]). Conditions compare
+    against literals or against another path (a value join, with XPath's
+    existential any-pair semantics). [order by] compares numeric
+    string-values numerically, otherwise as strings. *)
+
+type t
+
+exception Parse_error of string
+exception Eval_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed queries. *)
+
+val eval : Reldb.Db.t -> doc:string -> Encoding.t -> t -> Xmllib.Types.node list
+(** Evaluate over the shredded store; every path step runs as SQL through
+    {!Translate}. @raise Eval_error on unbound variables and the like. *)
+
+val run :
+  Reldb.Db.t -> doc:string -> Encoding.t -> string -> Xmllib.Types.node list
+(** Parse then evaluate. *)

@@ -1,0 +1,83 @@
+module T = Xmllib.Types
+
+type t = { mutable doc : T.document; mutable index : Doc_index.t option }
+
+let create doc = { doc; index = None }
+
+let index t =
+  match t.index with
+  | Some idx -> idx
+  | None ->
+      let idx = Doc_index.build t.doc in
+      t.index <- Some idx;
+      idx
+
+let query t xpath =
+  Dom_eval.eval_union (index t) (Xpath_parser.parse_union xpath)
+
+let count t xpath = List.length (query t xpath)
+
+(* rebuild the tree with [f] applied to the children of the node at
+   [target]; the route is the chain of child positions from the root *)
+let edit_children t ~target f =
+  let idx = index t in
+  (match (Doc_index.record idx target).Doc_index.kind with
+  | Doc_index.Elem -> ()
+  | _ -> invalid_arg "Native_store: target is not an element");
+  let route = List.rev (target :: Doc_index.ancestors idx target) in
+  (* route starts at the root record *)
+  let rec rebuild node route =
+    match route with
+    | [] -> assert false
+    | [ _last ] -> (
+        match node with
+        | T.Element e -> T.Element { e with T.children = f e.T.children }
+        | _ -> invalid_arg "Native_store: route does not end at an element")
+    | _ :: (next :: _ as rest) -> (
+        match node with
+        | T.Element e ->
+            (* descend into the child subtree containing [next] *)
+            let kid_ids = Doc_index.children idx (List.hd route) in
+            let updated =
+              List.map2
+                (fun cid child ->
+                  if
+                    cid = next
+                    || Doc_index.is_descendant idx ~ancestor:cid next
+                  then rebuild child rest
+                  else child)
+                kid_ids e.T.children
+            in
+            T.Element { e with T.children = updated }
+        | _ -> invalid_arg "Native_store: broken route")
+  in
+  let root = T.Element t.doc.T.root in
+  (match rebuild root route with
+  | T.Element e -> t.doc <- { t.doc with T.root = e }
+  | _ -> assert false);
+  t.index <- None
+
+let insert_subtree t ~parent ~pos node =
+  edit_children t ~target:parent (fun children ->
+      let n = List.length children in
+      if pos < 1 || pos > n + 1 then
+        invalid_arg "Native_store.insert_subtree: position out of range";
+      let rec go i = function
+        | rest when i = pos -> node :: rest
+        | [] -> [ node ]
+        | c :: rest -> c :: go (i + 1) rest
+      in
+      go 1 children)
+
+let delete_subtree t ~id =
+  let idx = index t in
+  match Doc_index.parent_of idx id with
+  | None -> invalid_arg "Native_store.delete_subtree: cannot delete the root"
+  | Some parent ->
+      let kid_ids = Doc_index.children idx parent in
+      edit_children t ~target:parent (fun children ->
+          List.filter_map
+            (fun (cid, child) -> if cid = id then None else Some child)
+            (List.combine kid_ids children))
+
+let document t = t.doc

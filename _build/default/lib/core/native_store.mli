@@ -1,0 +1,25 @@
+(** Native in-memory baseline: the same operations as {!Api.Store}, but
+    against a plain DOM with a tree-walking evaluator — no shredding, no
+    SQL. The benchmarks use it to answer the paper's implicit question: how
+    close does the relational mapping get to a native main-memory store?
+
+    Queries run over a lazily (re)built {!Doc_index}; updates edit the
+    immutable DOM along the root path and invalidate the index, so the cost
+    profile is: O(1)-amortized queries on a read-mostly store, and an O(N)
+    index rebuild charged to the first query after an update — which is the
+    trade a simple native store actually makes. Node ids are {!Doc_index}
+    record ids and are only stable until the next update. *)
+
+type t
+
+val create : Xmllib.Types.document -> t
+val query : t -> string -> int list
+(** Ids in document order (see staleness note above). *)
+
+val count : t -> string -> int
+
+val insert_subtree : t -> parent:int -> pos:int -> Xmllib.Types.node -> unit
+(** @raise Invalid_argument on a non-element parent or bad position. *)
+
+val delete_subtree : t -> id:int -> unit
+val document : t -> Xmllib.Types.document

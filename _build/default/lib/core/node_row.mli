@@ -1,0 +1,30 @@
+(** Decoding of edge-table tuples into a typed view, shared by the
+    translator, reconstruction and updates. *)
+
+type ord =
+  | Og of int * int  (** GLOBAL: (g_order, g_end) *)
+  | Ol of int  (** LOCAL: l_order *)
+  | Od of string  (** DEWEY: encoded path *)
+
+type t = {
+  id : int;
+  parent : int option;
+  kind : Doc_index.kind;
+  tag : string;
+  value : string;
+  ord : ord;
+}
+
+val of_tuple : Encoding.t -> Reldb.Tuple.t -> t
+(** Decode a full edge-table row (schema per {!Encoding}). *)
+
+val select_list : Encoding.t -> string -> string
+(** [select_list enc alias] — the projection of all edge columns (payload
+    then order columns), qualified by [alias], in the column order
+    {!of_tuple} expects. *)
+
+val compare_ord : t -> t -> int
+(** Document-order comparison usable within one encoding. *)
+
+val dewey : t -> Dewey.t
+(** @raise Invalid_argument unless the row is DEWEY-encoded. *)

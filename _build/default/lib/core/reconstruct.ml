@@ -1,0 +1,224 @@
+module T = Xmllib.Types
+module V = Reldb.Value
+
+let fetch_row db ~doc enc ~id =
+  let tname = Encoding.table_name ~doc enc in
+  let sql =
+    Printf.sprintf "SELECT %s FROM %s e WHERE e.id = %d"
+      (Node_row.select_list enc "e") tname id
+  in
+  match Reldb.Db.query_one db sql with
+  | Some tu -> Node_row.of_tuple enc tu
+  | None -> raise Not_found
+
+let root_id db ~doc enc =
+  let tname = Encoding.table_name ~doc enc in
+  let sql =
+    Printf.sprintf "SELECT %s FROM %s e WHERE e.parent IS NULL"
+      (Node_row.select_list enc "e") tname
+  in
+  match Reldb.Db.query_one db sql with
+  | Some tu -> (Node_row.of_tuple enc tu).Node_row.id
+  | None -> raise Not_found
+
+let fetch_subtree_rows db ~doc enc ~root =
+  let tname = Encoding.table_name ~doc enc in
+  let rows sql = List.map (Node_row.of_tuple enc) (Reldb.Db.query db sql) in
+  match (enc, root.Node_row.ord) with
+  | (Encoding.Global | Encoding.Global_gap), Node_row.Og (o, e) ->
+      rows
+        (Printf.sprintf
+           "SELECT %s FROM %s e WHERE e.g_order >= %d AND e.g_order <= %d \
+            ORDER BY e.g_order"
+           (Node_row.select_list enc "e") tname o e)
+  | (Encoding.Dewey_enc | Encoding.Dewey_caret), Node_row.Od p ->
+      let ub = Dewey.prefix_upper_bound p in
+      rows
+        (Printf.sprintf
+           "SELECT %s FROM %s e WHERE e.path >= %s AND e.path < %s ORDER BY \
+            e.path"
+           (Node_row.select_list enc "e") tname
+           (V.to_sql_literal (V.Bytes p))
+           (V.to_sql_literal (V.Bytes ub)))
+  | Encoding.Local, _ ->
+      (* breadth-first: one SQL statement per level *)
+      let acc = ref [ root ] in
+      let frontier = ref [ root ] in
+      while !frontier <> [] do
+        let level =
+          if List.length !frontier <= 4 then
+            List.concat_map
+              (fun (r : Node_row.t) ->
+                rows
+                  (Printf.sprintf "SELECT %s FROM %s e WHERE e.parent = %d"
+                     (Node_row.select_list enc "e") tname r.Node_row.id))
+              !frontier
+          else
+            let ctx_rows =
+              List.map (fun r -> [| V.Int r.Node_row.id |]) !frontier
+            in
+            Temp.with_ctx db ~cols:[ ("id", V.Tint) ] ~rows:ctx_rows (fun ctx ->
+                rows
+                  (Printf.sprintf
+                     "SELECT %s FROM %s e, %s c WHERE e.parent = c.id"
+                     (Node_row.select_list enc "e") tname ctx))
+        in
+        acc := !acc @ level;
+        frontier := level
+      done;
+      !acc
+  | (Encoding.Global | Encoding.Global_gap | Encoding.Dewey_enc | Encoding.Dewey_caret), _ ->
+      invalid_arg "Reconstruct.fetch_subtree_rows: row/encoding mismatch"
+
+let assemble rows ~root_id:rid =
+  (* children grouped by parent and sorted by the encoding's order value;
+     attributes (kind 2) have negative LOCAL ranks / 0-level Dewey paths /
+     early global intervals, so the same sort puts them first *)
+  let by_parent : (int, Node_row.t list ref) Hashtbl.t = Hashtbl.create 256 in
+  let by_id : (int, Node_row.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Node_row.t) ->
+      Hashtbl.replace by_id r.Node_row.id r;
+      match r.Node_row.parent with
+      | Some p when r.Node_row.id <> rid ->
+          let cell =
+            match Hashtbl.find_opt by_parent p with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_parent p c;
+                c
+          in
+          cell := r :: !cell
+      | _ -> ())
+    rows;
+  let children_of id =
+    match Hashtbl.find_opt by_parent id with
+    | None -> []
+    | Some c -> List.sort Node_row.compare_ord !c
+  in
+  let rec build (r : Node_row.t) =
+    match r.Node_row.kind with
+    | Doc_index.Text_node -> T.Text r.Node_row.value
+    | Doc_index.Comment_node -> T.Comment r.Node_row.value
+    | Doc_index.Pi_node -> T.Pi { target = r.Node_row.tag; data = r.Node_row.value }
+    | Doc_index.Attr -> invalid_arg "Reconstruct: attribute outside element"
+    | Doc_index.Elem ->
+        let kids = children_of r.Node_row.id in
+        let attrs, others =
+          List.partition (fun (k : Node_row.t) -> k.Node_row.kind = Doc_index.Attr) kids
+        in
+        T.Element
+          {
+            T.tag = r.Node_row.tag;
+            attrs =
+              List.map
+                (fun (a : Node_row.t) ->
+                  { T.attr_name = a.Node_row.tag; attr_value = a.Node_row.value })
+                attrs;
+            children = List.map build others;
+          }
+  in
+  match Hashtbl.find_opt by_id rid with
+  | None -> raise Not_found
+  | Some root -> build root
+
+let subtree db ~doc enc ~id =
+  let root = fetch_row db ~doc enc ~id in
+  if root.Node_row.kind = Doc_index.Attr then
+    invalid_arg "Reconstruct.subtree: attribute node";
+  let rows = fetch_subtree_rows db ~doc enc ~root in
+  assemble rows ~root_id:id
+
+(* Single-pass serialization from document-ordered rows: a stack of open
+   elements, closed when the next row's parent chain no longer includes
+   them. Attribute rows arrive between their element and its first child,
+   while the start tag is still open. *)
+let serialize_rows buf rows =
+  (* stack: (id, tag, still_open) where still_open = '>' not yet emitted *)
+  let stack : (int * string * bool ref) list ref = ref [] in
+  let close_tag () =
+    match !stack with
+    | (_, _, ({ contents = true } as pending)) :: _ ->
+        Buffer.add_char buf '>';
+        pending := false
+    | _ -> ()
+  in
+  let pop () =
+    match !stack with
+    | (_, tag, pending) :: rest ->
+        if !pending then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_char buf '>'
+        end;
+        stack := rest
+    | [] -> ()
+  in
+  let rec unwind_to parent =
+    match !stack with
+    | (id, _, _) :: _ when Some id <> parent -> begin
+        pop ();
+        match !stack with [] -> () | _ -> unwind_to parent
+      end
+    | _ -> ()
+  in
+  List.iter
+    (fun (r : Node_row.t) ->
+      match r.Node_row.kind with
+      | Doc_index.Attr ->
+          (* belongs to the still-open element on top of the stack *)
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf r.Node_row.tag;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (Xmllib.Printer.escape_attr r.Node_row.value);
+          Buffer.add_char buf '"'
+      | kind ->
+          unwind_to r.Node_row.parent;
+          close_tag ();
+          (match kind with
+          | Doc_index.Elem ->
+              Buffer.add_char buf '<';
+              Buffer.add_string buf r.Node_row.tag;
+              stack := (r.Node_row.id, r.Node_row.tag, ref true) :: !stack
+          | Doc_index.Text_node ->
+              Buffer.add_string buf (Xmllib.Printer.escape_text r.Node_row.value)
+          | Doc_index.Comment_node ->
+              Buffer.add_string buf "<!--";
+              Buffer.add_string buf r.Node_row.value;
+              Buffer.add_string buf "-->"
+          | Doc_index.Pi_node ->
+              Buffer.add_string buf "<?";
+              Buffer.add_string buf r.Node_row.tag;
+              if r.Node_row.value <> "" then begin
+                Buffer.add_char buf ' ';
+                Buffer.add_string buf r.Node_row.value
+              end;
+              Buffer.add_string buf "?>"
+          | Doc_index.Attr -> assert false))
+    rows;
+  while !stack <> [] do
+    pop ()
+  done
+
+let serialize_subtree db ~doc enc ~id =
+  let root = fetch_row db ~doc enc ~id in
+  if root.Node_row.kind = Doc_index.Attr then
+    invalid_arg "Reconstruct.serialize_subtree: attribute node";
+  let rows = fetch_subtree_rows db ~doc enc ~root in
+  let rows =
+    match enc with
+    | Encoding.Local -> fst (Translate.sort_document_order db ~doc enc rows)
+    | _ -> rows
+  in
+  (* rebase: the subtree root must behave like a top-level node *)
+  let buf = Buffer.create 1024 in
+  serialize_rows buf rows;
+  Buffer.contents buf
+
+let document db ~doc enc =
+  let rid = root_id db ~doc enc in
+  match subtree db ~doc enc ~id:rid with
+  | T.Element root -> { T.decl = false; root }
+  | T.Text _ | T.Comment _ | T.Pi _ -> assert false

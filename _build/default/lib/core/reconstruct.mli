@@ -1,0 +1,34 @@
+(** Rebuilding XML from the shredded relations — the ordered round-trip the
+    paper treats as the correctness bar for an order encoding.
+
+    GLOBAL and DEWEY fetch a subtree with a single ordered range query (the
+    interval, resp. the path prefix range). LOCAL has no global order in the
+    relation, so the subtree is fetched breadth-first, one SQL statement per
+    level, and stitched together by sibling rank in the middle tier — the
+    recursive-composition cost the paper attributes to local order. *)
+
+val root_id : Reldb.Db.t -> doc:string -> Encoding.t -> int
+(** Id of the document root (the row with NULL parent). *)
+
+val subtree : Reldb.Db.t -> doc:string -> Encoding.t -> id:int -> Xmllib.Types.node
+(** Rebuild the subtree rooted at [id].
+    @raise Not_found if the id does not exist.
+    @raise Invalid_argument on an attribute node. *)
+
+val document : Reldb.Db.t -> doc:string -> Encoding.t -> Xmllib.Types.document
+(** Rebuild the whole document. *)
+
+val serialize_subtree : Reldb.Db.t -> doc:string -> Encoding.t -> id:int -> string
+(** Serialize the subtree straight off the ordered row stream in a single
+    pass — no intermediate DOM. For GLOBAL and DEWEY this is one ordered
+    range scan feeding a tag stack (the streaming-publishing fast path those
+    encodings enable); LOCAL still fetches level by level and sorts first.
+    Produces exactly {!Xmllib.Printer.node_to_string} of {!subtree}. *)
+
+val fetch_row : Reldb.Db.t -> doc:string -> Encoding.t -> id:int -> Node_row.t
+(** Fetch one node's row by id. @raise Not_found if absent. *)
+
+val fetch_subtree_rows :
+  Reldb.Db.t -> doc:string -> Encoding.t -> root:Node_row.t -> Node_row.t list
+(** All rows of the subtree (including the root and attributes). For GLOBAL
+    and DEWEY the list is in document order. *)

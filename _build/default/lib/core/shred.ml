@@ -1,0 +1,206 @@
+module V = Reldb.Value
+
+let interval_numbering idx ~gap =
+  let n = Doc_index.length idx in
+  let out = Array.make n (0, 0) in
+  let counter = ref 0 in
+  let next () =
+    counter := !counter + gap;
+    !counter
+  in
+  let rec go i =
+    let start = next () in
+    List.iter go (Doc_index.attributes idx i);
+    List.iter go (Doc_index.children idx i);
+    out.(i) <- (start, next ())
+  in
+  go 0;
+  out
+
+let common_prefix (r : Doc_index.record) =
+  let tag = if r.Doc_index.tag = "" then V.Null else V.Str r.Doc_index.tag in
+  let value =
+    match r.Doc_index.kind with
+    | Doc_index.Elem -> V.Null
+    | _ -> V.Str r.Doc_index.value
+  in
+  [|
+    V.Int r.Doc_index.id;
+    (if r.Doc_index.parent < 0 then V.Null else V.Int r.Doc_index.parent);
+    V.Int (Doc_index.kind_code r.Doc_index.kind);
+    tag;
+    value;
+    Encoding.nval_of ~kind:r.Doc_index.kind r.Doc_index.value;
+  |]
+
+(* ORDPATH-style load numbering: children at odd components (3, 5, 7, ...),
+   leaving even components free as insertion carets and odd slot 1 free for
+   one cheap prepend; the reserved attribute level 0 stays 0. *)
+let caretify path =
+  Array.map (fun c -> if c = 0 then 0 else (2 * c) + 1) path
+
+let row_of_record enc ~gap_orders (r : Doc_index.record) =
+  let prefix = common_prefix r in
+  match enc with
+  | Encoding.Global | Encoding.Global_gap ->
+      let g_order, g_end =
+        match gap_orders with
+        | Some orders -> orders.(r.Doc_index.id)
+        | None -> invalid_arg "Shred.row_of_record: GLOBAL needs gap_orders"
+      in
+      Array.append prefix [| V.Int g_order; V.Int g_end |]
+  | Encoding.Local -> Array.append prefix [| V.Int r.Doc_index.pos |]
+  | Encoding.Dewey_enc ->
+      Array.append prefix
+        [|
+          V.Int (Dewey.depth r.Doc_index.dewey);
+          V.Bytes (Dewey.encode r.Doc_index.dewey);
+        |]
+  | Encoding.Dewey_caret ->
+      Array.append prefix
+        [|
+          V.Int (Dewey.depth r.Doc_index.dewey);
+          V.Bytes (Dewey.encode (caretify r.Doc_index.dewey));
+        |]
+
+let shred ?gap db ~doc enc document =
+  let idx = Doc_index.build document in
+  Encoding.create_tables db ~doc enc;
+  let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
+  let gap_orders =
+    match enc with
+    | Encoding.Global -> Some (interval_numbering idx ~gap:1)
+    | Encoding.Global_gap ->
+        Some (interval_numbering idx ~gap:(Option.value gap ~default:Encoding.default_gap))
+    | Encoding.Local | Encoding.Dewey_enc | Encoding.Dewey_caret -> None
+  in
+  Array.iter
+    (fun r -> ignore (Reldb.Table.insert table (row_of_record enc ~gap_orders r)))
+    (Doc_index.records idx);
+  idx
+
+(* ------------------------------------------------------------------ *)
+(* Streaming load                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  f_id : int;
+  f_tag : string;
+  f_start : int;  (* GLOBAL interval start *)
+  mutable f_children : int;  (* non-attribute children seen *)
+  f_dewey : Dewey.t;  (* logical path *)
+}
+
+let shred_stream ?gap db ~doc enc src =
+  Encoding.create_tables db ~doc enc;
+  let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
+  let gap =
+    match enc with
+    | Encoding.Global -> 1
+    | Encoding.Global_gap -> Option.value gap ~default:Encoding.default_gap
+    | Encoding.Local | Encoding.Dewey_enc | Encoding.Dewey_caret -> 1
+  in
+  let counter = ref 0 in
+  let next () =
+    counter := !counter + gap;
+    !counter
+  in
+  let ids = ref 0 in
+  let next_id () =
+    let id = !ids in
+    incr ids;
+    id
+  in
+  let stack : frame list ref = ref [] in
+  let add_row ~id ~parent ~kind ~tag ~value ~pos ~dewey ~interval =
+    let tagv = if tag = "" then V.Null else V.Str tag in
+    let valuev =
+      match kind with Doc_index.Elem -> V.Null | _ -> V.Str value
+    in
+    let prefix =
+      [|
+        V.Int id;
+        (if parent < 0 then V.Null else V.Int parent);
+        V.Int (Doc_index.kind_code kind);
+        tagv;
+        valuev;
+        Encoding.nval_of ~kind value;
+      |]
+    in
+    let row =
+      match enc with
+      | Encoding.Global | Encoding.Global_gap ->
+          let s, e = interval in
+          Array.append prefix [| V.Int s; V.Int e |]
+      | Encoding.Local -> Array.append prefix [| V.Int pos |]
+      | Encoding.Dewey_enc ->
+          Array.append prefix
+            [| V.Int (Dewey.depth dewey); V.Bytes (Dewey.encode dewey) |]
+      | Encoding.Dewey_caret ->
+          Array.append prefix
+            [| V.Int (Dewey.depth dewey); V.Bytes (Dewey.encode (caretify dewey)) |]
+    in
+    ignore (Reldb.Table.insert table row)
+  in
+  let leaf ~kind ~tag ~value =
+    let id = next_id () in
+    let parent, pos, dewey =
+      match !stack with
+      | [] -> invalid_arg "Shred.shred_stream: leaf outside root"
+      | f :: _ ->
+          f.f_children <- f.f_children + 1;
+          (f.f_id, f.f_children, Dewey.child f.f_dewey f.f_children)
+    in
+    let s = next () in
+    let e = next () in
+    add_row ~id ~parent ~kind ~tag ~value ~pos ~dewey ~interval:(s, e)
+  in
+  Xmllib.Sax.iter src (fun ev ->
+      match ev with
+      | Xmllib.Sax.Start_element { tag; attrs } ->
+          let id = next_id () in
+          let parent, pos, dewey =
+            match !stack with
+            | [] -> (-1, 1, Dewey.root)
+            | f :: _ ->
+                f.f_children <- f.f_children + 1;
+                (f.f_id, f.f_children, Dewey.child f.f_dewey f.f_children)
+          in
+          let f_start = next () in
+          let m = List.length attrs in
+          List.iteri
+            (fun j (an, av) ->
+              let aid = next_id () in
+              let s = next () in
+              let e = next () in
+              add_row ~id:aid ~parent:id ~kind:Doc_index.Attr ~tag:an ~value:av
+                ~pos:(j - m)
+                ~dewey:(Dewey.child (Dewey.child dewey 0) (j + 1))
+                ~interval:(s, e))
+            attrs;
+          stack :=
+            { f_id = id; f_tag = tag; f_start; f_children = 0; f_dewey = dewey }
+            :: !stack;
+          (* the element row itself is written at End_element, when its
+             interval end is known; other encodings do not mind *)
+          ignore pos;
+          ignore parent
+      | Xmllib.Sax.End_element _ -> (
+          match !stack with
+          | [] -> assert false
+          | f :: rest ->
+              let g_end = next () in
+              let parent, pos =
+                match rest with
+                | [] -> (-1, 1)
+                | p :: _ -> (p.f_id, p.f_children)
+              in
+              add_row ~id:f.f_id ~parent ~kind:Doc_index.Elem ~tag:f.f_tag
+                ~value:"" ~pos ~dewey:f.f_dewey ~interval:(f.f_start, g_end);
+              stack := rest)
+      | Xmllib.Sax.Text s -> leaf ~kind:Doc_index.Text_node ~tag:"" ~value:s
+      | Xmllib.Sax.Comment s ->
+          leaf ~kind:Doc_index.Comment_node ~tag:"" ~value:s
+      | Xmllib.Sax.Pi { target; data } ->
+          leaf ~kind:Doc_index.Pi_node ~tag:target ~value:data);
+  !ids

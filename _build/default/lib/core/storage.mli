@@ -1,0 +1,21 @@
+(** Storage accounting per encoding (experiment E2). *)
+
+type t = {
+  encoding : Encoding.t;
+  rows : int;
+  heap_bytes : int;  (** payload bytes of live rows *)
+  order_bytes : int;  (** bytes attributable to the order columns alone *)
+  index_entries : int;
+  index_bytes : int;  (** estimated: sum of key bytes over all indexes *)
+  total_bytes : int;
+  avg_key_bytes : float;  (** average order-key payload per row *)
+  max_key_bytes : int;
+}
+
+val measure : Reldb.Db.t -> doc:string -> Encoding.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val dewey_path_length_histogram : Reldb.Db.t -> doc:string -> (int * int) list
+(** Encoded-path length (bytes) -> row count, ascending. Empty unless the
+    DEWEY table exists. *)

@@ -1,0 +1,18 @@
+let counter = ref 0
+
+let with_ctx db ~cols ~rows f =
+  incr counter;
+  let name = Printf.sprintf "ctx_%d" !counter in
+  let ddl =
+    Printf.sprintf "CREATE TABLE %s (%s)" name
+      (String.concat ", "
+         (List.map
+            (fun (n, ty) -> Printf.sprintf "%s %s" n (Reldb.Value.ty_name ty))
+            cols))
+  in
+  ignore (Reldb.Db.exec db ddl);
+  let table = Reldb.Db.table db name in
+  List.iter (fun row -> ignore (Reldb.Table.insert table row)) rows;
+  Fun.protect
+    ~finally:(fun () -> ignore (Reldb.Db.exec db (Printf.sprintf "DROP TABLE %s" name)))
+    (fun () -> f name)

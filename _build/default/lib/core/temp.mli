@@ -1,0 +1,16 @@
+(** Temporary context tables for set-based step evaluation.
+
+    The translator evaluates one XPath step per SQL statement by joining the
+    edge table against a context table holding the current node set — the
+    classic middle-tier strategy for running path queries over shredded XML
+    without recursive SQL. *)
+
+val with_ctx :
+  Reldb.Db.t ->
+  cols:(string * Reldb.Value.ty) list ->
+  rows:Reldb.Tuple.t list ->
+  (string -> 'a) ->
+  'a
+(** Create a uniquely named table with the given columns, bulk-load [rows],
+    run the continuation with the table name, and drop the table afterwards
+    (also on exceptions). *)

@@ -1,0 +1,65 @@
+(** XPath evaluation over the shredded relations: the paper's translation of
+    ordered queries into SQL, one strategy per encoding.
+
+    Evaluation is step-at-a-time and set-based, in the middle-tier style the
+    shredding literature used before recursive SQL was common: the current
+    context node set is bound into a context table (or inlined as literals
+    when small) and each location step becomes one SQL statement joining the
+    edge table against it. What that statement looks like is exactly where
+    the encodings differ:
+
+    - ordered axes map to order-column ranges — [g_order]/[g_end] intervals
+      for GLOBAL, [path] prefix ranges for DEWEY, [(parent, l_order)] ranges
+      for LOCAL sibling axes;
+    - document-order axes ([following], [preceding]) and document-order
+      output sorting are closed-form for GLOBAL and DEWEY but require the
+      middle tier to materialize parent chains (one SQL statement per level)
+      for LOCAL — the recursion cost the paper attributes to local order;
+    - positional predicates are ranked in the middle tier per context node
+      over the axis-ordered candidates for every encoding (sibling positions
+      stored by LOCAL/DEWEY are sibling ranks, not ranks among nodes passing
+      the step's name test, so they cannot answer [bidder[2]] alone);
+    - value predicates ([price > 100], [@id = 'x']) become comparisons on
+      the [value]/[nval] columns. A comparison path that selects elements
+      gets an implicit [/text()] appended, which equals XPath string-value
+      semantics for elements whose content is a single text node (the
+      data-centric case; see DESIGN.md).
+
+    The number of SQL statements issued and the SQL text are reported for
+    instrumentation; rows-read/written counters live on {!Reldb.Db}. *)
+
+type result = {
+  rows : Node_row.t list;  (** result nodes, in document order *)
+  statements : int;  (** SQL statements issued *)
+  sql_log : string list;  (** the statements, in order *)
+}
+
+exception Unsupported of string
+
+val eval : Reldb.Db.t -> doc:string -> Encoding.t -> Xpath_ast.path -> result
+(** Evaluate an absolute or relative (root-context) path. *)
+
+val eval_union : Reldb.Db.t -> doc:string -> Encoding.t -> Xpath_ast.union -> result
+(** Evaluate a union of paths; results are merged, deduplicated and returned
+    in document order. *)
+
+val eval_ids : Reldb.Db.t -> doc:string -> Encoding.t -> Xpath_ast.path -> int list
+(** Just the node ids, in document order. *)
+
+val eval_string : Reldb.Db.t -> doc:string -> Encoding.t -> string -> result
+(** Parse then evaluate (handles top-level unions).
+    @raise Xpath_parser.Parse_error on bad syntax. *)
+
+val eval_from_ids :
+  Reldb.Db.t -> doc:string -> Encoding.t -> ids:int list -> Xpath_ast.path ->
+  result
+(** Evaluate a path with the given nodes as context (absolute paths restart
+    from the document root). Used by the FLWOR layer to resolve
+    variable-relative paths. *)
+
+val sort_document_order :
+  Reldb.Db.t -> doc:string -> Encoding.t -> Node_row.t list ->
+  Node_row.t list * int
+(** Sort arbitrary rows into document order (deduplicating by id), fetching
+    parent chains when the encoding stores no global order (LOCAL). Returns
+    the sorted rows and the number of extra SQL statements issued. *)

@@ -1,0 +1,39 @@
+(** Whole-path translation: one SQL statement per XPath query.
+
+    The paper's translator emitted a single SQL statement per path query — a
+    chain of self-joins over the edge table, one alias per location step
+    (what the shredding literature calls structural joins). This module
+    implements that mode for the fragment of the subset where a single
+    unordered SQL block is expressive enough:
+
+    - axes [child], [descendant], [descendant-or-self], [attribute],
+      [parent], plus GLOBAL/DEWEY [following-sibling]/[preceding-sibling]/
+      [following]/[preceding]/[ancestor] (LOCAL supports the sibling axes;
+      its document-order axes need recursion, which single-statement SQL
+      without RECURSIVE cannot express — the paper's point);
+    - name/wildcard/text()/comment()/node() tests;
+    - existence and value-comparison predicates (they become additional
+      joined aliases);
+    - {e no} positional predicates — ranking inside an unordered SQL block
+      needs subqueries or window functions, which is exactly why the paper
+      stores sibling ranks as data; use the step-at-a-time evaluator
+      ({!Translate}) for those.
+
+    The generated statement selects the result nodes' columns with
+    [SELECT DISTINCT], ordered by the encoding's document-order column when
+    it has one (GLOBAL, DEWEY); LOCAL results are returned unordered and the
+    caller middle-tier sorts (documented cost). *)
+
+exception Not_single_statement of string
+(** The path uses a feature outside the single-statement fragment. *)
+
+val translate : doc:string -> Encoding.t -> Xpath_ast.path -> string
+(** The SQL text. @raise Not_single_statement when ineligible. *)
+
+val eval :
+  Reldb.Db.t -> doc:string -> Encoding.t -> Xpath_ast.path -> Translate.result
+(** Run the single statement and decode the result rows (sorting LOCAL
+    results into document order in the middle tier).
+    @raise Not_single_statement when ineligible. *)
+
+val eligible : Encoding.t -> Xpath_ast.path -> bool

@@ -1,0 +1,770 @@
+module T = Xmllib.Types
+module V = Reldb.Value
+
+let log_src = Logs.Src.create "ordered_xml.update" ~doc:"order-preserving updates"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  rows_inserted : int;
+  rows_deleted : int;
+  rows_renumbered : int;
+  statements : int;
+}
+
+exception Update_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Update_error s)) fmt
+
+let zero = { rows_inserted = 0; rows_deleted = 0; rows_renumbered = 0; statements = 0 }
+
+type state = { db : Reldb.Db.t; enc : Encoding.t; tname : string; mutable st : stats }
+
+let exec state sql =
+  state.st <- { state.st with statements = state.st.statements + 1 };
+  Log.debug (fun m -> m "%s" sql);
+  match Reldb.Db.exec state.db sql with
+  | Reldb.Db.Affected n -> n
+  | Reldb.Db.Rows _ -> 0
+
+let query state sql =
+  state.st <- { state.st with statements = state.st.statements + 1 };
+  Reldb.Db.query state.db sql
+
+let fetch_node state id =
+  let sql =
+    Printf.sprintf "SELECT %s FROM %s e WHERE e.id = %d"
+      (Node_row.select_list state.enc "e") state.tname id
+  in
+  match query state sql with
+  | [ tu ] -> Node_row.of_tuple state.enc tu
+  | [] -> fail "no node with id %d" id
+  | _ -> assert false
+
+(* non-attribute children of a node, in document order *)
+let fetch_children state id =
+  let order_col =
+    match state.enc with
+    | Encoding.Global | Encoding.Global_gap -> "e.g_order"
+    | Encoding.Local -> "e.l_order"
+    | Encoding.Dewey_enc | Encoding.Dewey_caret -> "e.path"
+  in
+  let sql =
+    Printf.sprintf
+      "SELECT %s FROM %s e WHERE e.parent = %d AND e.kind <> 2 ORDER BY %s"
+      (Node_row.select_list state.enc "e") state.tname id order_col
+  in
+  List.map (Node_row.of_tuple state.enc) (query state sql)
+
+let max_id state =
+  match query state (Printf.sprintf "SELECT MAX(id) FROM %s" state.tname) with
+  | [ [| V.Int m |] ] -> m
+  | _ -> 0
+
+(* --- fragment flattening -------------------------------------------- *)
+
+(* Wrap the fragment under a dummy root, index it, and drop the dummy:
+   record ids 1.. are the fragment's records in record order. *)
+let fragment_index fragment =
+  match fragment with
+  | T.Element _ | T.Text _ | T.Comment _ | T.Pi _ ->
+      Doc_index.build
+        { T.decl = false; root = { T.tag = "frag"; attrs = []; children = [ fragment ] } }
+
+let fragment_size idx = Doc_index.length idx - 1
+
+(* --- shared row construction ----------------------------------------- *)
+
+let insert_row state tuple =
+  let table = Reldb.Db.table state.db state.tname in
+  (try ignore (Reldb.Table.insert table tuple)
+   with Reldb.Table.Constraint_violation m -> fail "%s" m);
+  state.st <- { state.st with rows_inserted = state.st.rows_inserted + 1 }
+
+let common_payload (r : Doc_index.record) ~id ~parent =
+  let tag = if r.Doc_index.tag = "" then V.Null else V.Str r.Doc_index.tag in
+  let value =
+    match r.Doc_index.kind with
+    | Doc_index.Elem -> V.Null
+    | _ -> V.Str r.Doc_index.value
+  in
+  [|
+    V.Int id;
+    V.Int parent;
+    V.Int (Doc_index.kind_code r.Doc_index.kind);
+    tag;
+    value;
+    Encoding.nval_of ~kind:r.Doc_index.kind r.Doc_index.value;
+  |]
+
+(* map a fragment-index record to (new id, new parent id) *)
+let remap base ~parent (r : Doc_index.record) =
+  let id = base + (r.Doc_index.id - 1) in
+  let parent_id =
+    if r.Doc_index.parent = 0 then parent else base + (r.Doc_index.parent - 1)
+  in
+  (id, parent_id)
+
+(* --- insertion boundary ---------------------------------------------- *)
+
+type boundary = {
+  parent_row : Node_row.t;
+  siblings : Node_row.t list;  (* non-attr children, in order *)
+  pos : int;
+}
+
+let locate state ~parent ~pos =
+  let parent_row = fetch_node state parent in
+  if parent_row.Node_row.kind <> Doc_index.Elem then
+    fail "node %d is not an element" parent;
+  let siblings = fetch_children state parent in
+  let n = List.length siblings in
+  if pos < 1 || pos > n + 1 then
+    fail "position %d out of range (parent has %d children)" pos n;
+  { parent_row; siblings; pos }
+
+(* --- LOCAL ----------------------------------------------------------- *)
+
+let local_insert state b fragments =
+  (* fragments: (index, base id) pairs; one sibling shift makes room for
+     the whole forest *)
+  let k = List.length fragments in
+  let l0 =
+    if b.pos <= List.length b.siblings then
+      match (List.nth b.siblings (b.pos - 1)).Node_row.ord with
+      | Node_row.Ol o -> o
+      | _ -> assert false
+    else
+      match List.rev b.siblings with
+      | [] -> 1
+      | last :: _ -> (
+          match last.Node_row.ord with Node_row.Ol o -> o + 1 | _ -> assert false)
+  in
+  (if b.pos <= List.length b.siblings then begin
+     let shifted =
+       exec state
+         (Printf.sprintf
+            "UPDATE %s SET l_order = l_order + %d WHERE parent = %d AND \
+             l_order >= %d"
+            state.tname k b.parent_row.Node_row.id l0)
+     in
+     state.st <- { state.st with rows_renumbered = state.st.rows_renumbered + shifted }
+   end);
+  List.iteri
+    (fun j (fragment_idx, base) ->
+      Array.iter
+        (fun (r : Doc_index.record) ->
+          if r.Doc_index.id = 0 then ()
+          else begin
+            let id, parent_id = remap base ~parent:b.parent_row.Node_row.id r in
+            let l_order =
+              if r.Doc_index.parent = 0 then l0 + j else r.Doc_index.pos
+            in
+            insert_row state
+              (Array.append (common_payload r ~id ~parent:parent_id) [| V.Int l_order |])
+          end)
+        (Doc_index.records fragment_idx))
+    fragments
+
+(* --- GLOBAL (dense and gapped) --------------------------------------- *)
+
+(* endpoint ordinals within the fragment: record i of the wrapper document
+   gets interval (start, end) from a dense numbering where the wrapper root
+   consumed the first start and the last end; ordinals are 0-based *)
+let fragment_ordinals fragment_idx =
+  let nums = Shred.interval_numbering fragment_idx ~gap:1 in
+  Array.map (fun (s, e) -> (s - 2, e - 2)) nums
+
+let global_insert state b fragments ~gapped =
+  let sizes = List.map (fun (idx, _) -> fragment_size idx) fragments in
+  let total = List.fold_left ( + ) 0 sizes in
+  let need = 2 * total in
+  (* free window (lo, hi): between the predecessor's last used value and the
+     successor's first *)
+  let lo =
+    if b.pos = 1 then begin
+      (* the parent's attribute records sit between the parent's start and
+         its first child; the window must begin after them *)
+      let attr_end =
+        query state
+          (Printf.sprintf
+             "SELECT MAX(g_end) FROM %s WHERE parent = %d AND kind = 2"
+             state.tname b.parent_row.Node_row.id)
+      in
+      match attr_end with
+      | [ [| V.Int m |] ] -> m
+      | _ -> (
+          match b.parent_row.Node_row.ord with
+          | Node_row.Og (o, _) -> o
+          | _ -> assert false)
+    end
+    else
+      match (List.nth b.siblings (b.pos - 2)).Node_row.ord with
+      | Node_row.Og (_, e) -> e
+      | _ -> assert false
+  in
+  let hi =
+    if b.pos <= List.length b.siblings then
+      match (List.nth b.siblings (b.pos - 1)).Node_row.ord with
+      | Node_row.Og (o, _) -> o
+      | _ -> assert false
+    else
+      match b.parent_row.Node_row.ord with Node_row.Og (_, e) -> e | _ -> assert false
+  in
+  let assign =
+    if gapped && hi - lo > need then begin
+      (* place endpoints inside the gap: ordinal i -> lo + (i+1)*(hi-lo)/(need+1) *)
+      fun ordinal -> lo + ((ordinal + 1) * (hi - lo) / (need + 1))
+    end
+    else begin
+      (* shift everything at or after [hi] to open a window of [need]
+         values; ancestors' ends shift with the same statements. When
+         gapped, shift by gap-sized strides to restore headroom. *)
+      let stride = if gapped then need * Encoding.default_gap else need in
+      let shifted1 =
+        exec state
+          (Printf.sprintf "UPDATE %s SET g_order = g_order + %d WHERE g_order >= %d"
+             state.tname stride hi)
+      in
+      let shifted2 =
+        exec state
+          (Printf.sprintf "UPDATE %s SET g_end = g_end + %d WHERE g_end >= %d"
+             state.tname stride hi)
+      in
+      state.st <-
+        { state.st with rows_renumbered = state.st.rows_renumbered + shifted1 + shifted2 };
+      if gapped then
+        let step = stride / (need + 1) in
+        fun ordinal -> hi - 1 + ((ordinal + 1) * step)
+      else fun ordinal -> hi + ordinal
+    end
+  in
+  let offset = ref 0 in
+  List.iter
+    (fun (fragment_idx, base) ->
+      let ordinals = fragment_ordinals fragment_idx in
+      Array.iter
+        (fun (r : Doc_index.record) ->
+          if r.Doc_index.id = 0 then ()
+          else begin
+            let id, parent_id = remap base ~parent:b.parent_row.Node_row.id r in
+            let s_ord, e_ord = ordinals.(r.Doc_index.id) in
+            insert_row state
+              (Array.append
+                 (common_payload r ~id ~parent:parent_id)
+                 [| V.Int (assign (!offset + s_ord)); V.Int (assign (!offset + e_ord)) |])
+          end)
+        (Doc_index.records fragment_idx);
+      offset := !offset + (2 * fragment_size fragment_idx))
+    fragments
+
+(* --- DEWEY (plain and caret) ------------------------------------------ *)
+
+let parent_dewey (b : boundary) =
+  match b.parent_row.Node_row.ord with
+  | Node_row.Od p -> Dewey.decode p
+  | _ -> assert false
+
+(* move a whole subtree to a new path prefix, one UPDATE per row, like the
+   middle tier must (the new prefix is computed outside SQL) *)
+let rewrite_subtree_paths state ~old_path ~new_path =
+  let old_enc = Dewey.encode old_path in
+  let new_enc = Dewey.encode new_path in
+  let rows =
+    query state
+      (Printf.sprintf
+         "SELECT e.id, e.path FROM %s e WHERE e.path >= %s AND e.path < %s"
+         state.tname
+         (V.to_sql_literal (V.Bytes old_enc))
+         (V.to_sql_literal (V.Bytes (Dewey.prefix_upper_bound old_enc))))
+  in
+  let old_len = String.length old_enc in
+  List.iter
+    (fun tu ->
+      match tu with
+      | [| V.Int id; V.Bytes p |] ->
+          let rewritten =
+            new_enc ^ String.sub p old_len (String.length p - old_len)
+          in
+          let n =
+            exec state
+              (Printf.sprintf "UPDATE %s SET path = %s WHERE id = %d"
+                 state.tname
+                 (V.to_sql_literal (V.Bytes rewritten))
+                 id)
+          in
+          state.st <-
+            { state.st with rows_renumbered = state.st.rows_renumbered + n }
+      | _ -> assert false)
+    rows
+
+(* insert the fragment rows grafted under [target]. [component_map] adjusts
+   the fragment's logical components ([Fun.id] for DEWEY, caretify for
+   ORDPATH); [target_depth] is the logical depth of the fragment top. *)
+let dewey_graft state b fragment_idx base ~target ~target_depth ~component_map =
+  Array.iter
+    (fun (r : Doc_index.record) ->
+      if r.Doc_index.id = 0 then ()
+      else begin
+        let id, parent_id = remap base ~parent:b.parent_row.Node_row.id r in
+        (* fragment record paths are [1; 1; suffix...]: drop the wrapper
+           root and the fragment top, graft onto [target] *)
+        let frag_path = r.Doc_index.dewey in
+        let suffix = Array.sub frag_path 2 (Array.length frag_path - 2) in
+        let path = Array.append target (Array.map component_map suffix) in
+        let depth = target_depth + Array.length suffix in
+        insert_row state
+          (Array.append
+             (common_payload r ~id ~parent:parent_id)
+             [| V.Int depth; V.Bytes (Dewey.encode path) |])
+      end)
+    (Doc_index.records fragment_idx)
+
+let fetch_depth state id =
+  match
+    query state (Printf.sprintf "SELECT depth FROM %s WHERE id = %d" state.tname id)
+  with
+  | [ [| V.Int d |] ] -> d
+  | _ -> fail "node %d has no depth" id
+
+let dewey_insert state b fragments =
+  let k = List.length fragments in
+  let parent_path = parent_dewey b in
+  let comp_of (r : Node_row.t) = Dewey.last (Node_row.dewey r) in
+  let c0 =
+    if b.pos <= List.length b.siblings then comp_of (List.nth b.siblings (b.pos - 1))
+    else
+      match List.rev b.siblings with
+      | [] -> 1
+      | last :: _ -> comp_of last + 1
+  in
+  (* shift following siblings by the forest width in one pass (component
+     >= c0), last first so the unique path index never sees a collision;
+     every row of each sibling subtree gets its path prefix rewritten *)
+  let to_shift =
+    List.filter (fun s -> comp_of s >= c0) b.siblings |> List.rev
+  in
+  List.iter
+    (fun (s : Node_row.t) ->
+      let old_path = Node_row.dewey s in
+      rewrite_subtree_paths state ~old_path
+        ~new_path:(Dewey.with_last old_path (Dewey.last old_path + k)))
+    to_shift;
+  List.iteri
+    (fun j (fragment_idx, base) ->
+      let target = Dewey.child parent_path (c0 + j) in
+      dewey_graft state b fragment_idx base ~target
+        ~target_depth:(Dewey.depth target) ~component_map:Fun.id)
+    fragments
+
+(* --- ORDPATH-style caret allocation ------------------------------------ *)
+
+(* Component vectors relative to the parent path. ORDPATH invariants:
+
+   - real node labels always terminate in an ODD component (children are
+     loaded at odd components); the attribute level is 0;
+   - an insertion whose sibling gap holds no free integer claims the EVEN
+     value between the neighbors and extends it ("caret"), e.g. between
+     [3] and [5] the new label is [4; 5];
+   - carets therefore extend only even-ended proper prefixes, never a full
+     node label — so "path extends node X's path" still means "attribute or
+     descendant of X", which is what the SQL prefix ranges rely on.
+
+   Raises [No_slot] when a zone is exhausted towards the front (full
+   ORDPATH escapes with negative components; the unsigned codec cannot, so
+   the caller falls back to a renumbering that restores headroom). *)
+exception No_slot
+
+(* first label inside a freshly opened caret zone: odd, with room for
+   ~32k further insertions on either side before the zone is exhausted *)
+let caret_zone_start = 65537
+
+let rec caret_between lo hi =
+  let lo = match lo with Some [] -> None | x -> x in
+  match (lo, hi) with
+  | _, Some [] -> raise No_slot
+  | Some [], _ -> assert false (* normalized to None above *)
+  | None, None ->
+      (* empty parent: first child *)
+      [ 3 ]
+  | Some (l0 :: _), None ->
+      (* append: next odd above the last head *)
+      [ (if l0 mod 2 = 0 then l0 + 1 else l0 + 2) ]
+  | None, Some (h0 :: ht) ->
+      (* prepend: the largest odd below h0, if any *)
+      let c = if (h0 - 1) mod 2 = 1 then h0 - 1 else h0 - 2 in
+      if c >= 1 then [ c ]
+      else if h0 mod 2 = 0 && ht <> [] then
+        (* hi is a caret zone: slot in below its tail *)
+        h0 :: caret_between None (Some ht)
+      else raise No_slot
+  | Some (l0 :: lt), Some (h0 :: ht) ->
+      if h0 - l0 >= 2 then begin
+        (* room at this level: prefer an odd label, else open a caret with
+           enough headroom that a hotspot amortizes *)
+        let c = if (l0 + 1) mod 2 = 1 then l0 + 1 else l0 + 2 in
+        if c < h0 then [ c ] else [ l0 + 1; caret_zone_start ]
+      end
+      else if h0 = l0 then begin
+        (* shared head: only caret heads can be shared by two labels *)
+        if l0 mod 2 = 1 || l0 = 0 then raise No_slot
+        else
+          l0
+          :: caret_between (if lt = [] then None else Some lt) (Some ht)
+      end
+      else begin
+        (* adjacent heads: extend whichever side is a caret zone *)
+        if l0 mod 2 = 0 then
+          l0 :: caret_between (if lt = [] then None else Some lt) None
+        else (* h0 = l0 + 1 is even *)
+          h0 :: caret_between None (Some ht)
+      end
+
+let suffix_of parent_len (r : Node_row.t) =
+  let p = Node_row.dewey r in
+  Array.to_list (Array.sub p parent_len (Array.length p - parent_len))
+
+(* renumbering fallback: repack positions [pos..] with fresh odd heads and
+   generous headroom below (so front insertions amortize), going through a
+   temporary zone so the unique path index never collides *)
+let caret_prepend_headroom = 64
+
+let caret_renumber state b ~parent_path ~lo_head =
+  let parent_len = Array.length parent_path in
+  let moved = List.filteri (fun i _ -> i >= b.pos - 1) b.siblings in
+  let heads = List.map (fun s -> List.hd (suffix_of parent_len s)) b.siblings in
+  let max_head = List.fold_left max 0 heads in
+  let target_head =
+    let t = lo_head + caret_prepend_headroom in
+    if t mod 2 = 0 then t + 1 else t
+  in
+  let final_heads = List.mapi (fun i _ -> target_head + (2 * (i + 1))) moved in
+  let tmp_base =
+    let top = max max_head (List.fold_left max target_head final_heads) in
+    top + 2
+  in
+  (* phase 1: everything up into the free zone above all heads *)
+  List.iteri
+    (fun i (s : Node_row.t) ->
+      let old_path = Node_row.dewey s in
+      rewrite_subtree_paths state ~old_path
+        ~new_path:(Array.append parent_path [| tmp_base + (2 * i) |]))
+    moved;
+  (* phase 2: down to the final dense odd heads *)
+  List.iteri
+    (fun i final ->
+      let tmp = Array.append parent_path [| tmp_base + (2 * i) |] in
+      rewrite_subtree_paths state ~old_path:tmp
+        ~new_path:(Array.append parent_path [| final |]))
+    final_heads;
+  target_head
+
+let caret_insert state b fragments =
+  let parent_path = parent_dewey b in
+  let parent_len = Array.length parent_path in
+  let lo0 =
+    if b.pos = 1 then None
+    else Some (suffix_of parent_len (List.nth b.siblings (b.pos - 2)))
+  in
+  let hi =
+    if b.pos <= List.length b.siblings then
+      Some (suffix_of parent_len (List.nth b.siblings (b.pos - 1)))
+    else None
+  in
+  let target_depth = fetch_depth state b.parent_row.Node_row.id + 1 in
+  (* allocate slots one after another, each bounded below by the previous
+     allocation; careting never renumbers except on zone exhaustion *)
+  let lo = ref lo0 in
+  List.iter
+    (fun (fragment_idx, base) ->
+      let rel =
+        try caret_between !lo hi
+        with No_slot ->
+          let lo_head = match !lo with Some (l0 :: _) -> l0 | _ -> 0 in
+          [ caret_renumber state b ~parent_path ~lo_head ]
+      in
+      lo := Some rel;
+      let target = Array.append parent_path (Array.of_list rel) in
+      dewey_graft state b fragment_idx base ~target ~target_depth
+        ~component_map:(fun c -> if c = 0 then 0 else (2 * c) + 1))
+    fragments
+
+(* --- public API -------------------------------------------------------- *)
+
+let insert_forest db ~doc enc ~parent ~pos fragments =
+  if fragments = [] then invalid_arg "Update.insert_forest: empty forest";
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let b = locate state ~parent ~pos in
+  let base0 = max_id state + 1 in
+  let _, with_bases =
+    List.fold_left
+      (fun (base, acc) fragment ->
+        let idx = fragment_index fragment in
+        (base + fragment_size idx, (idx, base) :: acc))
+      (base0, []) fragments
+  in
+  let with_bases = List.rev with_bases in
+  (match enc with
+  | Encoding.Local -> local_insert state b with_bases
+  | Encoding.Global -> global_insert state b with_bases ~gapped:false
+  | Encoding.Global_gap -> global_insert state b with_bases ~gapped:true
+  | Encoding.Dewey_enc -> dewey_insert state b with_bases
+  | Encoding.Dewey_caret -> caret_insert state b with_bases);
+  state.st
+
+let insert_subtree db ~doc enc ~parent ~pos fragment =
+  insert_forest db ~doc enc ~parent ~pos [ fragment ]
+
+let append_child db ~doc enc ~parent fragment =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let n = List.length (fetch_children state parent) in
+  insert_subtree db ~doc enc ~parent ~pos:(n + 1) fragment
+
+let delete_subtree db ~doc enc ~id =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let row = fetch_node state id in
+  if row.Node_row.kind = Doc_index.Attr then fail "cannot delete an attribute subtree";
+  if row.Node_row.parent = None then fail "cannot delete the document root";
+  let deleted =
+    match (enc, row.Node_row.ord) with
+    | (Encoding.Global | Encoding.Global_gap), Node_row.Og (o, e) ->
+        exec state
+          (Printf.sprintf "DELETE FROM %s WHERE g_order >= %d AND g_order <= %d"
+             state.tname o e)
+    | (Encoding.Dewey_enc | Encoding.Dewey_caret), Node_row.Od p ->
+        exec state
+          (Printf.sprintf "DELETE FROM %s WHERE path >= %s AND path < %s"
+             state.tname
+             (V.to_sql_literal (V.Bytes p))
+             (V.to_sql_literal (V.Bytes (Dewey.prefix_upper_bound p))))
+    | Encoding.Local, Node_row.Ol l0 ->
+        (* collect the subtree breadth-first, delete, then close the
+           sibling gap *)
+        let rows =
+          Reconstruct.fetch_subtree_rows db ~doc enc ~root:row
+        in
+        let n =
+          List.fold_left
+            (fun acc (r : Node_row.t) ->
+              acc
+              + exec state
+                  (Printf.sprintf "DELETE FROM %s WHERE id = %d" state.tname
+                     r.Node_row.id))
+            0 rows
+        in
+        let parent = Option.get row.Node_row.parent in
+        let shifted =
+          exec state
+            (Printf.sprintf
+               "UPDATE %s SET l_order = l_order - 1 WHERE parent = %d AND \
+                l_order > %d"
+               state.tname parent l0)
+        in
+        state.st <-
+          { state.st with rows_renumbered = state.st.rows_renumbered + shifted };
+        n
+    | _ -> assert false
+  in
+  { state.st with rows_deleted = deleted }
+
+let move_subtree db ~doc enc ~id ~parent ~pos =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let row = fetch_node state id in
+  if row.Node_row.kind = Doc_index.Attr then fail "cannot move an attribute";
+  if row.Node_row.parent = None then fail "cannot move the document root";
+  (* the destination must not be inside the moved subtree *)
+  let subtree_rows = Reconstruct.fetch_subtree_rows db ~doc enc ~root:row in
+  if List.exists (fun (r : Node_row.t) -> r.Node_row.id = parent) subtree_rows
+  then fail "cannot move node %d under its own descendant %d" id parent;
+  let fragment = Reconstruct.subtree db ~doc enc ~id in
+  let st1 = delete_subtree db ~doc enc ~id in
+  let st2 = insert_subtree db ~doc enc ~parent ~pos fragment in
+  {
+    rows_inserted = st1.rows_inserted + st2.rows_inserted;
+    rows_deleted = st1.rows_deleted + st2.rows_deleted;
+    rows_renumbered = st1.rows_renumbered + st2.rows_renumbered;
+    statements = st1.statements + st2.statements;
+  }
+
+(* attribute rows of an element, in attribute order *)
+let fetch_attrs state id =
+  let order_col =
+    match state.enc with
+    | Encoding.Global | Encoding.Global_gap -> "e.g_order"
+    | Encoding.Local -> "e.l_order"
+    | Encoding.Dewey_enc | Encoding.Dewey_caret -> "e.path"
+  in
+  let sql =
+    Printf.sprintf
+      "SELECT %s FROM %s e WHERE e.parent = %d AND e.kind = 2 ORDER BY %s"
+      (Node_row.select_list state.enc "e") state.tname id order_col
+  in
+  List.map (Node_row.of_tuple state.enc) (query state sql)
+
+let set_attribute db ~doc enc ~id ~name ~value =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let row = fetch_node state id in
+  if row.Node_row.kind <> Doc_index.Elem then fail "node %d is not an element" id;
+  let attrs = fetch_attrs state id in
+  match
+    List.find_opt (fun (a : Node_row.t) -> a.Node_row.tag = name) attrs
+  with
+  | Some existing ->
+      (* overwrite in place: order untouched *)
+      let n =
+        exec state
+          (Printf.sprintf "UPDATE %s SET value = %s WHERE id = %d" state.tname
+             (V.to_sql_literal (V.Str value))
+             existing.Node_row.id)
+      in
+      { state.st with rows_renumbered = n }
+  | None -> begin
+      let new_id = max_id state + 1 in
+
+      let payload =
+        [|
+          V.Int new_id; V.Int id; V.Int (Doc_index.kind_code Doc_index.Attr);
+          V.Str name; V.Str value;
+          Encoding.nval_of ~kind:Doc_index.Attr value;
+        |]
+      in
+      (match enc with
+      | Encoding.Local ->
+          (* keep ranks dense at -m..-1: shift the old ones down *)
+          let shifted =
+            exec state
+              (Printf.sprintf
+                 "UPDATE %s SET l_order = l_order - 1 WHERE parent = %d AND \
+                  kind = 2"
+                 state.tname id)
+          in
+          state.st <-
+            { state.st with rows_renumbered = state.st.rows_renumbered + shifted };
+          insert_row state (Array.append payload [| V.Int (-1) |])
+      | Encoding.Global | Encoding.Global_gap ->
+          (* open two interval values right after the last attribute *)
+          let hi =
+            (* first value after the attribute zone: first child start, or
+               the parent's end *)
+            match fetch_children state id with
+            | first :: _ -> (
+                match first.Node_row.ord with Node_row.Og (o, _) -> o | _ -> 0)
+            | [] -> (
+                match row.Node_row.ord with Node_row.Og (_, e) -> e | _ -> 0)
+          in
+          let shifted1 =
+            exec state
+              (Printf.sprintf
+                 "UPDATE %s SET g_order = g_order + 2 WHERE g_order >= %d"
+                 state.tname hi)
+          in
+          let shifted2 =
+            exec state
+              (Printf.sprintf "UPDATE %s SET g_end = g_end + 2 WHERE g_end >= %d"
+                 state.tname hi)
+          in
+          state.st <-
+            {
+              state.st with
+              rows_renumbered = state.st.rows_renumbered + shifted1 + shifted2;
+            };
+          insert_row state (Array.append payload [| V.Int hi; V.Int (hi + 1) |])
+      | Encoding.Dewey_enc | Encoding.Dewey_caret ->
+          let parent_path =
+            match row.Node_row.ord with
+            | Node_row.Od p -> Dewey.decode p
+            | _ -> assert false
+          in
+          let next_j =
+            match List.rev attrs with
+            | [] -> 1
+            | last :: _ -> Dewey.last (Node_row.dewey last) + 1
+          in
+          let path =
+            Array.append parent_path [| 0; next_j |]
+          in
+          let depth = fetch_depth state id + 2 in
+          insert_row state
+            (Array.append payload [| V.Int depth; V.Bytes (Dewey.encode path) |]));
+      state.st
+    end
+
+let remove_attribute db ~doc enc ~id ~name =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let row = fetch_node state id in
+  if row.Node_row.kind <> Doc_index.Elem then fail "node %d is not an element" id;
+  match
+    List.find_opt
+      (fun (a : Node_row.t) -> a.Node_row.tag = name)
+      (fetch_attrs state id)
+  with
+  | None -> state.st
+  | Some victim ->
+      let deleted =
+        exec state
+          (Printf.sprintf "DELETE FROM %s WHERE id = %d" state.tname
+             victim.Node_row.id)
+      in
+      (* LOCAL keeps attribute ranks dense at -m..-1 *)
+      (match (enc, victim.Node_row.ord) with
+      | Encoding.Local, Node_row.Ol pos ->
+          let shifted =
+            exec state
+              (Printf.sprintf
+                 "UPDATE %s SET l_order = l_order + 1 WHERE parent = %d AND \
+                  kind = 2 AND l_order < %d"
+                 state.tname id pos)
+          in
+          state.st <-
+            { state.st with rows_renumbered = state.st.rows_renumbered + shifted }
+      | _ -> ());
+      { state.st with rows_deleted = deleted }
+
+let replace_subtree db ~doc enc ~id fragment =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let row = fetch_node state id in
+  if row.Node_row.kind = Doc_index.Attr then fail "cannot replace an attribute";
+  let parent =
+    match row.Node_row.parent with
+    | Some p -> p
+    | None -> fail "cannot replace the document root"
+  in
+  (* position among the parent's non-attribute children *)
+  let siblings = fetch_children state parent in
+  let pos =
+    match
+      List.find_index (fun (s : Node_row.t) -> s.Node_row.id = id) siblings
+    with
+    | Some i -> i + 1
+    | None -> fail "node %d not found among its parent's children" id
+  in
+  let st1 = delete_subtree db ~doc enc ~id in
+  let st2 = insert_subtree db ~doc enc ~parent ~pos fragment in
+  {
+    rows_inserted = st1.rows_inserted + st2.rows_inserted;
+    rows_deleted = st1.rows_deleted + st2.rows_deleted;
+    rows_renumbered = st1.rows_renumbered + st2.rows_renumbered;
+    statements = st1.statements + st2.statements;
+  }
+
+let set_text db ~doc enc ~id value =
+  let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
+  let row = fetch_node state id in
+  (match row.Node_row.kind with
+  | Doc_index.Text_node | Doc_index.Attr | Doc_index.Comment_node
+  | Doc_index.Pi_node ->
+      ()
+  | Doc_index.Elem -> fail "set_text on an element (id %d)" id);
+  let nval =
+    match float_of_string_opt (String.trim value) with
+    | Some f when Float.is_finite f -> V.to_sql_literal (V.Float f)
+    | Some _ | None -> "NULL"
+  in
+  let n =
+    exec state
+      (Printf.sprintf "UPDATE %s SET value = %s, nval = %s WHERE id = %d"
+         state.tname
+         (V.to_sql_literal (V.Str value))
+         nval id)
+  in
+  { state.st with rows_renumbered = n }

@@ -1,0 +1,84 @@
+type query = { q_id : string; q_label : string; q_xpath : string option }
+
+let queries =
+  [
+    {
+      q_id = "Q1";
+      q_label = "simple path (unordered baseline)";
+      q_xpath = Some "/site/open_auctions/open_auction";
+    };
+    {
+      q_id = "Q2";
+      q_label = "first-position predicate";
+      q_xpath = Some "/site/open_auctions/open_auction/bidder[1]";
+    };
+    {
+      q_id = "Q3";
+      q_label = "last-position predicate";
+      q_xpath = Some "/site/open_auctions/open_auction/bidder[last()]";
+    };
+    {
+      q_id = "Q4";
+      q_label = "position range";
+      q_xpath =
+        Some
+          "/site/open_auctions/open_auction/bidder[position() >= 2 and \
+           position() <= 4]";
+    };
+    {
+      q_id = "Q5";
+      q_label = "following-sibling axis";
+      q_xpath =
+        Some
+          "/site/open_auctions/open_auction/bidder[1]/following-sibling::bidder";
+    };
+    {
+      q_id = "Q6";
+      q_label = "descendant axis + value predicate";
+      q_xpath = Some "//person[profile/@income > 50000]/name";
+    };
+    {
+      q_id = "Q7";
+      q_label = "following axis (document order)";
+      q_xpath = Some "/site/regions/africa/item[1]/following::item";
+    };
+    { q_id = "Q8"; q_label = "subtree reconstruction"; q_xpath = None };
+  ]
+
+let q8_target = "/site/open_auctions/open_auction[1]"
+
+let dataset ~scale = Xmllib.Generator.xmark ~seed:42 ~scale ()
+
+let update_fragment ~seed =
+  let doc = Xmllib.Generator.xmark ~seed ~scale:1 () in
+  let idx = Doc_index.build doc in
+  (* steal the first open_auction of a freshly generated document *)
+  match
+    Dom_eval.eval idx (Xpath_parser.parse "/site/open_auctions/open_auction[1]")
+  with
+  | [ id ] -> Doc_index.to_node idx id
+  | _ -> assert false
+
+let small_fragment =
+  Xmllib.Types.element "bidder"
+    [
+      Xmllib.Types.element "date" [ Xmllib.Types.text "01/07/2001" ];
+      Xmllib.Types.element "increase" [ Xmllib.Types.text "4.50" ];
+    ]
+
+type position = Front | Middle | Back
+
+let position_name = function
+  | Front -> "front"
+  | Middle -> "middle"
+  | Back -> "back"
+
+let positions = [ Front; Middle; Back ]
+
+let insertion_pos pos ~sibling_count =
+  match pos with
+  | Front -> 1
+  | Middle -> 1 + (sibling_count / 2)
+  | Back -> sibling_count + 1
+
+let container_path = "/site/open_auctions"

@@ -1,0 +1,39 @@
+(** The experiment workloads (DESIGN.md section 6): the ordered query set
+    Q1–Q8 over the XMark-style auction data, the update scenarios, and the
+    dataset presets shared by the benchmarks and the experiment harness. *)
+
+type query = {
+  q_id : string;  (** "Q1".."Q8" *)
+  q_label : string;  (** what the query exercises *)
+  q_xpath : string option;  (** [None] for Q8, the reconstruction task *)
+}
+
+val queries : query list
+(** Q1 simple path, Q2 [[1]], Q3 [[last()]], Q4 position range,
+    Q5 following-sibling, Q6 descendant + value predicate, Q7 following,
+    Q8 subtree reconstruction (represented with [q_xpath = None]). *)
+
+val q8_target : string
+(** XPath selecting the subtree Q8 reconstructs. *)
+
+val dataset : scale:int -> Xmllib.Types.document
+(** Deterministic XMark-style document ([seed] fixed). *)
+
+val update_fragment : seed:int -> Xmllib.Types.node
+(** A fresh [open_auction] element to insert (a few dozen records). *)
+
+val small_fragment : Xmllib.Types.node
+(** A single [bidder] element with children. *)
+
+(** Insertion positions exercised by E4. *)
+type position = Front | Middle | Back
+
+val position_name : position -> string
+val positions : position list
+
+val insertion_pos : position -> sibling_count:int -> int
+(** Translate a scenario position into a 1-based child index. *)
+
+val container_path : string
+(** XPath of the container element whose child list E4 grows
+    ("/site/open_auctions"). *)

@@ -1,0 +1,106 @@
+(* Abstract syntax for the ordered-XPath subset (DESIGN.md section 4). *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Attribute
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Ancestor
+  | Ancestor_or_self
+
+type node_test =
+  | Name of string  (* element (or attribute, on the attribute axis) name *)
+  | Any_name  (* '*' *)
+  | Text_test  (* text() *)
+  | Comment_test  (* comment() *)
+  | Node_test  (* node() *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type literal = L_num of float | L_str of string
+
+(* Operand of a value comparison: the string-value of nodes selected by a
+   relative path (XPath existential comparison semantics). *)
+type predicate =
+  | P_pos of cmp * int  (* position() cmp k ; [k] sugar for position() = k *)
+  | P_last  (* [last()] i.e. position() = last() *)
+  | P_exists of path  (* [relative/path] *)
+  | P_cmp of path * cmp * literal  (* [relative/path op literal] *)
+  | P_count of path * cmp * int  (* [count(relative/path) op k] *)
+  | P_and of predicate * predicate
+  | P_or of predicate * predicate
+  | P_not of predicate
+
+and step = { axis : axis; test : node_test; preds : predicate list }
+
+and path = { absolute : bool; steps : step list }
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Attribute -> "attribute"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+
+let cmp_name = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let test_name = function
+  | Name n -> n
+  | Any_name -> "*"
+  | Text_test -> "text()"
+  | Comment_test -> "comment()"
+  | Node_test -> "node()"
+
+let rec pred_to_string = function
+  | P_pos (Eq, k) -> string_of_int k
+  | P_pos (op, k) -> Printf.sprintf "position() %s %d" (cmp_name op) k
+  | P_last -> "last()"
+  | P_exists p -> to_string p
+  | P_cmp (p, op, L_num f) ->
+      Printf.sprintf "%s %s %g" (to_string p) (cmp_name op) f
+  | P_cmp (p, op, L_str s) ->
+      Printf.sprintf "%s %s '%s'" (to_string p) (cmp_name op) s
+  | P_count (p, op, k) ->
+      Printf.sprintf "count(%s) %s %d" (to_string p) (cmp_name op) k
+  | P_and (a, b) -> Printf.sprintf "(%s and %s)" (pred_to_string a) (pred_to_string b)
+  | P_or (a, b) -> Printf.sprintf "(%s or %s)" (pred_to_string a) (pred_to_string b)
+  | P_not a -> Printf.sprintf "not(%s)" (pred_to_string a)
+
+and step_to_string s =
+  let base =
+    match (s.axis, s.test) with
+    | Child, t -> test_name t
+    | Attribute, t -> "@" ^ test_name t
+    | axis, t -> axis_name axis ^ "::" ^ test_name t
+  in
+  base
+  ^ String.concat ""
+      (List.map (fun p -> "[" ^ pred_to_string p ^ "]") s.preds)
+
+and to_string (p : path) =
+  (if p.absolute then "/" else "")
+  ^ String.concat "/" (List.map step_to_string p.steps)
+
+type union = path list
+(* alternatives of a top-level union expression (p1 | p2 | ...) *)
+
+let union_to_string (u : union) = String.concat " | " (List.map to_string u)

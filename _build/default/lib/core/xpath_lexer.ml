@@ -1,0 +1,127 @@
+type token =
+  | Slash
+  | Dslash
+  | At
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Dcolon
+  | Dot
+  | Dotdot
+  | Star
+  | Comma
+  | Pipe
+  | Cmp of Xpath_ast.cmp
+  | Num of float
+  | Str of string
+  | Ident of string
+  | Eof
+
+exception Error of string
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = ':'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' then
+      if peek 1 = '/' then begin
+        emit Dslash;
+        i := !i + 2
+      end
+      else begin
+        emit Slash;
+        incr i
+      end
+    else if c = ':' && peek 1 = ':' then begin
+      emit Dcolon;
+      i := !i + 2
+    end
+    else if is_name_start c then begin
+      let start = !i in
+      (* names may contain ':' for namespaces but we must not eat '::' *)
+      while
+        !i < n && is_name_char src.[!i]
+        && not (src.[!i] = ':' && peek 1 = ':')
+      do
+        incr i
+      done;
+      emit (Ident (String.sub src start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      emit (Num (float_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      incr i;
+      let start = !i in
+      while !i < n && src.[!i] <> quote do
+        incr i
+      done;
+      if !i >= n then raise (Error "unterminated string literal");
+      emit (Str (String.sub src start (!i - start)));
+      incr i
+    end
+    else begin
+      (match c with
+      | '@' -> emit At
+      | '[' -> emit Lbracket
+      | ']' -> emit Rbracket
+      | '(' -> emit Lparen
+      | ')' -> emit Rparen
+      | ',' -> emit Comma
+      | '|' -> emit Pipe
+      | '*' -> emit Star
+      | '.' ->
+          if peek 1 = '.' then begin
+            emit Dotdot;
+            incr i
+          end
+          else emit Dot
+      | '=' -> emit (Cmp Xpath_ast.Eq)
+      | '!' ->
+          if peek 1 = '=' then begin
+            emit (Cmp Xpath_ast.Ne);
+            incr i
+          end
+          else raise (Error "stray '!'")
+      | '<' ->
+          if peek 1 = '=' then begin
+            emit (Cmp Xpath_ast.Le);
+            incr i
+          end
+          else emit (Cmp Xpath_ast.Lt)
+      | '>' ->
+          if peek 1 = '=' then begin
+            emit (Cmp Xpath_ast.Ge);
+            incr i
+          end
+          else emit (Cmp Xpath_ast.Gt)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c)));
+      incr i
+    end
+  done;
+  List.rev (Eof :: !toks)

@@ -1,0 +1,25 @@
+(** XPath tokenizer. *)
+
+type token =
+  | Slash  (** / *)
+  | Dslash  (** // *)
+  | At
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Dcolon  (** :: *)
+  | Dot
+  | Dotdot
+  | Star
+  | Comma
+  | Pipe  (** | *)
+  | Cmp of Xpath_ast.cmp
+  | Num of float
+  | Str of string
+  | Ident of string  (** names, axis names, and/or/not/text/node/... *)
+  | Eof
+
+exception Error of string
+
+val tokenize : string -> token list

@@ -1,0 +1,27 @@
+(** Parser for the XPath subset (hand-written recursive descent).
+
+    Supported grammar (informally):
+    {v
+    path     ::= '/'? step (('/' | '//') step)*
+    step     ::= axis? test pred*   |  '@' name pred*  |  '.'  |  '..'
+    axis     ::= name '::'
+    test     ::= name | '*' | 'text()' | 'comment()' | 'node()'
+    pred     ::= '[' or ']'
+    or       ::= and ('or' and)*
+    and      ::= atom ('and' atom)*
+    atom     ::= 'not' '(' or ')' | '(' or ')' | int
+               | 'last()' | 'position()' cmp int
+               | relpath (cmp literal)?
+    v}
+    ['//'] between steps is shorthand for the descendant axis. *)
+
+exception Parse_error of string
+
+val parse : string -> Xpath_ast.path
+
+val parse_union : string -> Xpath_ast.union
+(** Parse a top-level union expression [p1 | p2 | ...]; a single path yields
+    a one-element list. *)
+
+val parse_relative : string -> Xpath_ast.path
+(** Like {!parse} but fails on absolute paths (used inside predicates). *)

@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Hashtbl Printf String Table

@@ -1,0 +1,1 @@
+lib/relational/db.ml: Array Buffer Catalog Exec Expr Format Fun List Plan Planner Printf Schema Seq Sql_ast Sql_parser String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/db.mli: Catalog Schema Table Tuple

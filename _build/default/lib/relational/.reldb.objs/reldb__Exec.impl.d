@@ -1,0 +1,1 @@
+lib/relational/exec.ml: Array Btree Expr Hashtbl List Plan Seq Table Tuple Value

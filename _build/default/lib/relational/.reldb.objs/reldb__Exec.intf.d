@@ -1,0 +1,1 @@
+lib/relational/exec.mli: Plan Seq Tuple

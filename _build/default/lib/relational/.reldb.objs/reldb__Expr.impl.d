@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Float Format List Option Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Btree Expr Format List Option Schema String Table Tuple Value

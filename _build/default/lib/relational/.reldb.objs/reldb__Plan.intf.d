@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Btree Expr Format Schema Table

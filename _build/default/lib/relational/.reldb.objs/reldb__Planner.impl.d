@@ -1,0 +1,1 @@
+lib/relational/planner.ml: Array Btree Catalog Expr Format List Option Plan Printf Schema Seq Sql_ast String Table Tuple Value

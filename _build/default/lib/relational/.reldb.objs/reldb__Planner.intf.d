@@ -1,0 +1,1 @@
+lib/relational/planner.mli: Catalog Expr Plan Seq Sql_ast Table Tuple

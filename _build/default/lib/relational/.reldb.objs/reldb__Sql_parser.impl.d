@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Expr List Printf Sql_ast Sql_lexer String Value

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Btree List Printf Schema Seq String Tuple Value Vec

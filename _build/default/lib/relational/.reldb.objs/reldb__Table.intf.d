@@ -1,0 +1,1 @@
+lib/relational/table.mli: Btree Schema Seq Tuple

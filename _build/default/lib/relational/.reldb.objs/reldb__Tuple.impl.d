@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Buffer Char Format Hashtbl Printf Stdlib String

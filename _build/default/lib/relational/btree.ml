@@ -1,0 +1,279 @@
+exception Duplicate_key
+
+type node = Leaf of leaf | Internal of internal
+
+and leaf = {
+  mutable keys : Tuple.t array;
+  mutable vals : int array;
+  mutable next : leaf option;
+}
+
+and internal = {
+  (* children.(i) covers keys k with seps.(i-1) <= k < seps.(i) *)
+  mutable seps : Tuple.t array;
+  mutable children : node array;
+}
+
+type t = { mutable root : node; branching : int; mutable count : int }
+
+type bound = Unbounded | Incl of Tuple.t | Excl of Tuple.t
+
+let create ?(branching = 64) () =
+  let branching = max 4 branching in
+  { root = Leaf { keys = [||]; vals = [||]; next = None }; branching; count = 0 }
+
+let length t = t.count
+
+(* position of first key >= k, in a sorted key array *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Tuple.compare_key keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* child index for key [k] in an internal node *)
+let child_index (n : internal) k =
+  (* first i with k < seps.(i); all seps <= k -> last child *)
+  let lo = ref 0 and hi = ref (Array.length n.seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Tuple.compare_key n.seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.sub arr 0 (n - 1) in
+  Array.blit arr (i + 1) out i (n - 1 - i);
+  out
+
+let rec find_leaf node k =
+  match node with
+  | Leaf l -> l
+  | Internal n -> find_leaf n.children.(child_index n k) k
+
+let find t k =
+  let l = find_leaf t.root k in
+  let i = lower_bound l.keys k in
+  if i < Array.length l.keys && Tuple.compare_key l.keys.(i) k = 0 then
+    Some l.vals.(i)
+  else None
+
+(* insert into subtree; returns Some (separator, right sibling) on split *)
+let rec insert_node t node k v ~replace_existing =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.keys k in
+      if i < Array.length l.keys && Tuple.compare_key l.keys.(i) k = 0 then begin
+        if replace_existing then begin
+          l.vals.(i) <- v;
+          None
+        end
+        else raise Duplicate_key
+      end
+      else begin
+        l.keys <- array_insert l.keys i k;
+        l.vals <- array_insert l.vals i v;
+        t.count <- t.count + 1;
+        if Array.length l.keys > t.branching then begin
+          let n = Array.length l.keys in
+          let mid = n / 2 in
+          let right =
+            {
+              keys = Array.sub l.keys mid (n - mid);
+              vals = Array.sub l.vals mid (n - mid);
+              next = l.next;
+            }
+          in
+          l.keys <- Array.sub l.keys 0 mid;
+          l.vals <- Array.sub l.vals 0 mid;
+          l.next <- Some right;
+          Some (right.keys.(0), Leaf right)
+        end
+        else None
+      end
+  | Internal n -> (
+      let ci = child_index n k in
+      match insert_node t n.children.(ci) k v ~replace_existing with
+      | None -> None
+      | Some (sep, right) ->
+          n.seps <- array_insert n.seps ci sep;
+          n.children <- array_insert n.children (ci + 1) right;
+          if Array.length n.children > t.branching then begin
+            let nc = Array.length n.children in
+            let mid = nc / 2 in
+            (* separator promoted to parent is seps.(mid-1) *)
+            let promoted = n.seps.(mid - 1) in
+            let right =
+              {
+                seps = Array.sub n.seps mid (Array.length n.seps - mid);
+                children = Array.sub n.children mid (nc - mid);
+              }
+            in
+            n.seps <- Array.sub n.seps 0 (mid - 1);
+            n.children <- Array.sub n.children 0 mid;
+            Some (promoted, Internal right)
+          end
+          else None)
+
+let insert_gen t k v ~replace_existing =
+  match insert_node t t.root k v ~replace_existing with
+  | None -> ()
+  | Some (sep, right) ->
+      t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
+
+let insert t k v = insert_gen t k v ~replace_existing:false
+let replace t k v = insert_gen t k v ~replace_existing:true
+
+let delete t k =
+  let l = find_leaf t.root k in
+  let i = lower_bound l.keys k in
+  if i < Array.length l.keys && Tuple.compare_key l.keys.(i) k = 0 then begin
+    l.keys <- array_remove l.keys i;
+    l.vals <- array_remove l.vals i;
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let leftmost_leaf t =
+  let rec go = function
+    | Leaf l -> l
+    | Internal n -> go n.children.(0)
+  in
+  go t.root
+
+(* Compare a stored key against a (possibly shorter) bound key on the bound's
+   arity only. A stored key shorter than the bound falls back to full
+   comparison (cannot happen for well-formed index keys). *)
+let compare_trunc k b =
+  let lb = Array.length b in
+  if Array.length k <= lb then Tuple.compare_key k b
+  else Tuple.compare_key (Array.sub k 0 lb) b
+
+let start_leaf t = function
+  | Unbounded -> (leftmost_leaf t, 0)
+  | Incl k | Excl k ->
+      let l = find_leaf t.root k in
+      (l, lower_bound l.keys k)
+
+let within_hi hi k =
+  match hi with
+  | Unbounded -> true
+  | Incl h -> compare_trunc k h <= 0
+  | Excl h -> compare_trunc k h < 0
+
+let range t ~lo ~hi =
+  (* Seek with the full-key comparison: for [Incl b] the first qualifying key
+     (truncated-compare >= b) is exactly the first key >= b under full
+     comparison, because a prefix sorts before all its extensions. For
+     [Excl b] we additionally skip the extensions of [b] themselves. *)
+  let leaf0, i0 = start_leaf t lo in
+  let rec seq (l : leaf) i () =
+    if i >= Array.length l.keys then
+      match l.next with None -> Seq.Nil | Some nxt -> seq nxt 0 ()
+    else
+      let k = l.keys.(i) in
+      if within_hi hi k then Seq.Cons ((k, l.vals.(i)), seq l (i + 1))
+      else Seq.Nil
+  in
+  let base = seq leaf0 i0 in
+  match lo with
+  | Excl b -> Seq.drop_while (fun (k, _) -> compare_trunc k b = 0) base
+  | Unbounded | Incl _ -> base
+
+let range_desc t ~lo ~hi =
+  let items = List.of_seq (range t ~lo ~hi) in
+  List.to_seq (List.rev items)
+
+let prefix t p = range t ~lo:(Incl p) ~hi:(Incl p)
+
+let to_seq t = range t ~lo:Unbounded ~hi:Unbounded
+
+type stats = { entries : int; leaves : int; depth : int; occupancy : float }
+
+let stats t =
+  let leaves = ref 0 and slots = ref 0 in
+  let rec depth = function
+    | Leaf _ -> 1
+    | Internal n -> 1 + depth n.children.(0)
+  in
+  let rec walk = function
+    | Leaf l ->
+        incr leaves;
+        slots := !slots + Array.length l.keys
+    | Internal n -> Array.iter walk n.children
+  in
+  walk t.root;
+  {
+    entries = t.count;
+    leaves = !leaves;
+    depth = depth t.root;
+    occupancy =
+      (if !leaves = 0 then 0.0
+       else float_of_int !slots /. float_of_int (!leaves * t.branching));
+  }
+
+let check_invariants t =
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  (* uniform depth *)
+  let rec depths acc = function
+    | Leaf _ -> acc :: []
+    | Internal n ->
+        List.concat_map (depths (acc + 1)) (Array.to_list n.children)
+  in
+  (match depths 0 t.root with
+  | [] -> ()
+  | d :: rest -> if List.exists (fun x -> x <> d) rest then fail "non-uniform depth");
+  (* key bounds per subtree *)
+  let rec check lo hi node =
+    let in_bounds k =
+      (match lo with None -> true | Some b -> Tuple.compare_key b k <= 0)
+      && match hi with None -> true | Some b -> Tuple.compare_key k b < 0
+    in
+    match node with
+    | Leaf l ->
+        Array.iteri
+          (fun i k ->
+            if not (in_bounds k) then fail "leaf key out of separator bounds";
+            if i > 0 && Tuple.compare_key l.keys.(i - 1) k >= 0 then
+              fail "leaf keys not strictly ascending")
+          l.keys
+    | Internal n ->
+        if Array.length n.children <> Array.length n.seps + 1 then
+          fail "internal node arity mismatch";
+        Array.iteri
+          (fun i sep ->
+            if not (in_bounds sep) then fail "separator out of bounds";
+            if i > 0 && Tuple.compare_key n.seps.(i - 1) sep >= 0 then
+              fail "separators not ascending")
+          n.seps;
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some n.seps.(i - 1) in
+            let hi' = if i = Array.length n.seps then hi else Some n.seps.(i) in
+            check lo' hi' child)
+          n.children
+  in
+  check None None t.root;
+  (* linked-leaf chain must be globally sorted and complete *)
+  let chain = List.of_seq (to_seq t) in
+  if List.length chain <> t.count then fail "count mismatch with leaf chain";
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if Tuple.compare_key a b >= 0 then fail "leaf chain out of order";
+        sorted rest
+    | [ _ ] | [] -> ()
+  in
+  sorted chain;
+  match !err with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,28 @@
+type t = (string, Table.t) Hashtbl.t
+
+exception Catalog_error of string
+
+let create () = Hashtbl.create 16
+
+let norm = String.lowercase_ascii
+
+let find_table t name = Hashtbl.find_opt t (norm name)
+
+let create_table t name schema =
+  if Hashtbl.mem t (norm name) then
+    raise (Catalog_error (Printf.sprintf "table %s already exists" name));
+  let tbl = Table.create name schema in
+  Hashtbl.add t (norm name) tbl;
+  tbl
+
+let drop_table t name =
+  if not (Hashtbl.mem t (norm name)) then
+    raise (Catalog_error (Printf.sprintf "no such table %s" name));
+  Hashtbl.remove t (norm name)
+
+let get_table t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> raise (Catalog_error (Printf.sprintf "no such table %s" name))
+
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t []

@@ -1,0 +1,19 @@
+(** Named tables (case-insensitive lookup). Index metadata lives on the
+    tables themselves. *)
+
+type t
+
+exception Catalog_error of string
+
+val create : unit -> t
+val create_table : t -> string -> Schema.t -> Table.t
+(** @raise Catalog_error if the name is taken. *)
+
+val drop_table : t -> string -> unit
+(** @raise Catalog_error if absent. *)
+
+val find_table : t -> string -> Table.t option
+val get_table : t -> string -> Table.t
+(** @raise Catalog_error if absent. *)
+
+val tables : t -> Table.t list

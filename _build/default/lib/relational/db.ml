@@ -1,0 +1,405 @@
+type t = { cat : Catalog.t; mutable txn : bool }
+
+type result =
+  | Rows of { schema : Schema.t; tuples : Tuple.t list }
+  | Affected of int
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+let create () = { cat = Catalog.create (); txn = false }
+
+let in_transaction t = t.txn
+
+let begin_txn t =
+  if t.txn then fail "a transaction is already active";
+  List.iter Table.begin_journal (Catalog.tables t.cat);
+  t.txn <- true
+
+let commit t =
+  if not t.txn then fail "no active transaction";
+  List.iter Table.commit_journal (Catalog.tables t.cat);
+  t.txn <- false
+
+let rollback t =
+  if not t.txn then fail "no active transaction";
+  List.iter Table.rollback_journal (Catalog.tables t.cat);
+  t.txn <- false
+
+let with_transaction t f =
+  begin_txn t;
+  match f () with
+  | v ->
+      commit t;
+      v
+  | exception e ->
+      rollback t;
+      raise e
+
+let catalog t = t.cat
+
+let table t name =
+  match Catalog.find_table t.cat name with
+  | Some tbl -> tbl
+  | None -> fail "no such table %s" name
+
+(* constant folding for INSERT value lists *)
+let rec const_eval (e : Sql_ast.sexpr) : Value.t =
+  match e with
+  | Sql_ast.E_const v -> v
+  | Sql_ast.E_neg a -> begin
+      match const_eval a with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> fail "cannot negate %s" (Value.to_string v)
+    end
+  | Sql_ast.E_arith (op, a, b) -> begin
+      let ea = Expr.Const (const_eval a) and eb = Expr.Const (const_eval b) in
+      try Expr.eval (Expr.Arith (op, ea, eb)) [||]
+      with Expr.Eval_error m -> fail "%s" m
+    end
+  | Sql_ast.E_concat (a, b) ->
+      Value.Str (Value.to_string (const_eval a) ^ Value.to_string (const_eval b))
+  | _ -> fail "INSERT values must be constants"
+
+let do_insert t ~table:name ~columns ~values =
+  let tbl = table t name in
+  let schema = Table.schema tbl in
+  let arity = Schema.arity schema in
+  let positions =
+    match columns with
+    | None -> Array.init arity (fun i -> i)
+    | Some cols ->
+        Array.of_list
+          (List.map
+             (fun c ->
+               match Schema.find_opt schema c with
+               | Some i -> i
+               | None -> fail "table %s has no column %s" name c)
+             cols)
+  in
+  let count = ref 0 in
+  List.iter
+    (fun row ->
+      if List.length row <> Array.length positions then
+        fail "INSERT arity mismatch";
+      let tuple = Array.make arity Value.Null in
+      List.iteri (fun i e -> tuple.(positions.(i)) <- const_eval e) row;
+      (try ignore (Table.insert tbl tuple)
+       with Table.Constraint_violation m -> fail "%s" m);
+      incr count)
+    values;
+  Affected !count
+
+let resolve_where tbl = function
+  | None -> None
+  | Some w -> (
+      try Some (Planner.resolve_expr_for_table tbl w)
+      with Planner.Plan_error m -> fail "%s" m)
+
+let do_update t ~table:name ~sets ~where =
+  let tbl = table t name in
+  let schema = Table.schema tbl in
+  let pred = resolve_where tbl where in
+  let sets =
+    List.map
+      (fun (col, e) ->
+        match Schema.find_opt schema col with
+        | None -> fail "table %s has no column %s" name col
+        | Some i -> (
+            try (i, Planner.resolve_expr_for_table tbl e)
+            with Planner.Plan_error m -> fail "%s" m))
+      sets
+  in
+  let victims = List.of_seq (Planner.table_candidates tbl pred) in
+  (* statement-level constraint semantics: compute all new tuples, remove
+     every victim from the table (and its indexes), then reinsert — so a
+     multi-row UPDATE that shifts a uniquely indexed column never trips over
+     its own transient duplicates. *)
+  let replacements =
+    List.map
+      (fun (rowid, old) ->
+        let tuple = Array.copy old in
+        List.iter
+          (fun (i, e) ->
+            tuple.(i) <-
+              (try Expr.eval e old with Expr.Eval_error m -> fail "%s" m))
+          sets;
+        (rowid, old, tuple))
+      victims
+  in
+  List.iter (fun (rowid, _, _) -> Table.delete tbl rowid) replacements;
+  (try
+     List.iter (fun (_, _, tuple) -> ignore (Table.insert tbl tuple)) replacements
+   with Table.Constraint_violation m ->
+     (* restore untouched rows; rows already reinserted keep their new
+        values would be wrong, so rebuild from the old images *)
+     List.iter
+       (fun (_, old, tuple) ->
+         (match
+            List.find_opt
+              (fun (_, t) -> t == tuple)
+              (List.of_seq (Table.scan tbl))
+          with
+         | Some (rid, _) -> Table.delete tbl rid
+         | None -> ());
+         ignore (Table.insert tbl old))
+       replacements
+     |> fun () -> fail "%s" m);
+  Affected (List.length victims)
+
+let do_delete t ~table:name ~where =
+  let tbl = table t name in
+  let pred = resolve_where tbl where in
+  let victims = List.of_seq (Planner.table_candidates tbl pred) in
+  List.iter (fun (rowid, _) -> Table.delete tbl rowid) victims;
+  Affected (List.length victims)
+
+let do_create_table t ~name ~columns =
+  if t.txn then fail "DDL is not allowed inside a transaction";
+  let schema =
+    Array.of_list
+      (List.map
+         (fun (cd : Sql_ast.column_def) ->
+           Schema.column ~nullable:(not cd.cd_not_null) cd.cd_name cd.cd_type)
+         columns)
+  in
+  (try ignore (Catalog.create_table t.cat name schema)
+   with Catalog.Catalog_error m -> fail "%s" m);
+  Affected 0
+
+let do_create_index t ~name ~table:tname ~columns ~unique =
+  if t.txn then fail "DDL is not allowed inside a transaction";
+  let tbl = table t tname in
+  let schema = Table.schema tbl in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun c ->
+           match Schema.find_opt schema c with
+           | Some i -> i
+           | None -> fail "table %s has no column %s" tname c)
+         columns)
+  in
+  (try ignore (Table.create_index tbl ~name ~cols ~unique)
+   with Table.Constraint_violation m -> fail "%s" m);
+  Affected 0
+
+let plan_of_select t q =
+  try Planner.plan_select t.cat q with Planner.Plan_error m -> fail "%s" m
+
+let exec t sql =
+  let stmt =
+    try Sql_parser.parse sql with Sql_parser.Parse_error m -> fail "%s" m
+  in
+  match stmt with
+  | Sql_ast.Select q ->
+      let plan = plan_of_select t q in
+      let tuples =
+        try Exec.run_list plan
+        with
+        | Expr.Eval_error m | Exec.Exec_error m -> fail "%s" m
+      in
+      Rows { schema = Plan.schema_of plan; tuples }
+  | Sql_ast.Union_all qs ->
+      let plans = List.map (plan_of_select t) qs in
+      let arities = List.map (fun p -> Schema.arity (Plan.schema_of p)) plans in
+      (match arities with
+      | a :: rest when List.exists (fun b -> b <> a) rest ->
+          fail "UNION ALL branches have different arities"
+      | _ -> ());
+      let plan = Plan.Union_all plans in
+      let tuples =
+        try Exec.run_list plan
+        with Expr.Eval_error m | Exec.Exec_error m -> fail "%s" m
+      in
+      Rows { schema = Plan.schema_of plan; tuples }
+  | Sql_ast.Insert { table; columns; values } ->
+      do_insert t ~table ~columns ~values
+  | Sql_ast.Update { table; sets; where } -> do_update t ~table ~sets ~where
+  | Sql_ast.Delete { table; where } -> do_delete t ~table ~where
+  | Sql_ast.Create_table { name; columns } -> do_create_table t ~name ~columns
+  | Sql_ast.Create_index { name; table; columns; unique } ->
+      do_create_index t ~name ~table ~columns ~unique
+  | Sql_ast.Drop_table name -> (
+      if t.txn then fail "DDL is not allowed inside a transaction";
+      try
+        Catalog.drop_table t.cat name;
+        Affected 0
+      with Catalog.Catalog_error m -> fail "%s" m)
+  | Sql_ast.Begin_txn ->
+      begin_txn t;
+      Affected 0
+  | Sql_ast.Commit_txn ->
+      commit t;
+      Affected 0
+  | Sql_ast.Rollback_txn ->
+      rollback t;
+      Affected 0
+
+let query t sql =
+  match exec t sql with
+  | Rows { tuples; _ } -> tuples
+  | Affected _ -> fail "expected a SELECT statement"
+
+let query_one t sql =
+  match query t sql with [] -> None | r :: _ -> Some r
+
+let exec_script t stmts = List.iter (fun s -> ignore (exec t s)) stmts
+
+let explain t sql =
+  match Sql_parser.parse sql with
+  | Sql_ast.Select q -> Format.asprintf "%a" Plan.pp (plan_of_select t q)
+  | Sql_ast.Union_all qs ->
+      Format.asprintf "%a" Plan.pp
+        (Plan.Union_all (List.map (plan_of_select t) qs))
+  | _ -> fail "EXPLAIN supports only SELECT"
+  | exception Sql_parser.Parse_error m -> fail "%s" m
+
+let render = function
+  | Affected n -> Printf.sprintf "(%d rows affected)" n
+  | Rows { schema; tuples } ->
+      let headers = Array.map (fun c -> c.Schema.col_name) schema in
+      let cells = List.map (Array.map Value.to_string) tuples in
+      let widths = Array.map String.length headers in
+      List.iter
+        (fun row ->
+          Array.iteri (fun i s -> widths.(i) <- max widths.(i) (String.length s)) row)
+        cells;
+      let buf = Buffer.create 256 in
+      let line () =
+        Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+        Buffer.add_string buf "+\n"
+      in
+      let row cells =
+        Array.iteri
+          (fun i s ->
+            Buffer.add_string buf (Printf.sprintf "| %-*s " widths.(i) s))
+          cells;
+        Buffer.add_string buf "|\n"
+      in
+      line ();
+      row headers;
+      line ();
+      List.iter (fun r -> row r) cells;
+      line ();
+      Buffer.add_string buf (Printf.sprintf "(%d rows)" (List.length tuples));
+      Buffer.contents buf
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  let tables =
+    List.sort
+      (fun a b -> compare (Table.name a) (Table.name b))
+      (Catalog.tables t.cat)
+  in
+  List.iter
+    (fun tbl ->
+      let schema = Table.schema tbl in
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE TABLE %s (%s);\n" (Table.name tbl)
+           (String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun (c : Schema.column) ->
+                      Printf.sprintf "%s %s%s" c.Schema.col_name
+                        (Value.ty_name c.Schema.col_type)
+                        (if c.Schema.nullable then "" else " NOT NULL"))
+                    schema))));
+      List.iter
+        (fun (idx : Table.index) ->
+          Buffer.add_string buf
+            (Printf.sprintf "CREATE %sINDEX %s ON %s (%s);\n"
+               (if idx.Table.unique then "UNIQUE " else "")
+               idx.Table.idx_name (Table.name tbl)
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.map
+                        (fun c -> schema.(c).Schema.col_name)
+                        idx.Table.key_cols)))))
+        (Table.indexes tbl);
+      (* batch rows into multi-VALUES inserts *)
+      let batch = ref [] and n = ref 0 in
+      let flush () =
+        if !batch <> [] then begin
+          Buffer.add_string buf
+            (Printf.sprintf "INSERT INTO %s VALUES %s;\n" (Table.name tbl)
+               (String.concat ", " (List.rev !batch)));
+          batch := [];
+          n := 0
+        end
+      in
+      Seq.iter
+        (fun (_, tu) ->
+          let row =
+            Printf.sprintf "(%s)"
+              (String.concat ", "
+                 (Array.to_list (Array.map Value.to_sql_literal tu)))
+          in
+          batch := row :: !batch;
+          incr n;
+          if !n >= 100 then flush ())
+        (Table.scan tbl);
+      flush ())
+    tables;
+  Buffer.contents buf
+
+let dump_to_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump t))
+
+(* split a script on ';' outside string literals (text values may contain
+   newlines and semicolons, so line-based splitting would corrupt them) *)
+let split_statements script =
+  let out = ref [] in
+  let buf = Buffer.create 256 in
+  let n = String.length script in
+  let in_str = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = script.[!i] in
+    (if !in_str then begin
+       Buffer.add_char buf c;
+       if c = '\'' then
+         if !i + 1 < n && script.[!i + 1] = '\'' then begin
+           Buffer.add_char buf '\'';
+           incr i
+         end
+         else in_str := false
+     end
+     else
+       match c with
+       | '\'' ->
+           in_str := true;
+           Buffer.add_char buf c
+       | ';' ->
+           out := Buffer.contents buf :: !out;
+           Buffer.clear buf
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if String.trim (Buffer.contents buf) <> "" then
+    out := Buffer.contents buf :: !out;
+  List.rev_map String.trim !out |> List.filter (fun s -> s <> "")
+
+let restore script =
+  let t = create () in
+  List.iter (fun stmt -> ignore (exec t stmt)) (split_statements script);
+  t
+
+let restore_from_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> restore (really_input_string ic (in_channel_length ic)))
+
+let rows_read t =
+  List.fold_left (fun acc tbl -> acc + Table.rows_read tbl) 0 (Catalog.tables t.cat)
+
+let rows_written t =
+  List.fold_left (fun acc tbl -> acc + Table.rows_written tbl) 0 (Catalog.tables t.cat)
+
+let reset_counters t = List.iter Table.reset_counters (Catalog.tables t.cat)

@@ -1,0 +1,77 @@
+(** Engine facade: SQL text in, rows out. This is the interface the order
+    encodings program against, mirroring how the paper's translator emitted
+    SQL to a relational back end. *)
+
+type t
+
+type result =
+  | Rows of { schema : Schema.t; tuples : Tuple.t list }
+  | Affected of int
+
+exception Sql_error of string
+
+val create : unit -> t
+val catalog : t -> Catalog.t
+
+val exec : t -> string -> result
+(** Execute any supported statement.
+    @raise Sql_error with a message on parse, plan or execution errors. *)
+
+val query : t -> string -> Tuple.t list
+(** Execute a SELECT and return its rows.
+    @raise Sql_error if the statement is not a SELECT. *)
+
+val query_one : t -> string -> Tuple.t option
+(** First row of a SELECT, if any. *)
+
+val exec_script : t -> string list -> unit
+(** Run a list of statements, discarding results. *)
+
+val explain : t -> string -> string
+(** The physical plan chosen for a SELECT, rendered as an indented tree. *)
+
+val table : t -> string -> Table.t
+(** Direct access to a table (bulk-load paths bypass the SQL layer, as
+    loaders do in real systems). @raise Sql_error if absent. *)
+
+val render : result -> string
+(** ASCII table rendering for examples and the experiment harness. *)
+
+(** {2 Transactions}
+
+    Single-connection transactions with statement- or API-level control
+    (the SQL statements [BEGIN] / [COMMIT] / [ROLLBACK] map to these).
+    Rollback restores every table to its exact pre-transaction state via
+    per-table undo journals, indexes included. DDL inside a transaction is
+    rejected. *)
+
+val begin_txn : t -> unit
+val commit : t -> unit
+val rollback : t -> unit
+val in_transaction : t -> bool
+
+val with_transaction : t -> (unit -> 'a) -> 'a
+(** Run [f] inside a transaction: commit on return, roll back (and re-raise)
+    on exception. *)
+
+(** {2 Persistence}
+
+    The database serializes to a plain SQL script (DDL + INSERTs), the
+    lingua franca for moving relational data around. Restoring executes the
+    script into a fresh engine. *)
+
+val dump : t -> string
+(** SQL script recreating every table, index and row. *)
+
+val dump_to_file : t -> string -> unit
+
+val restore : string -> t
+(** @raise Sql_error if the script fails. *)
+
+val restore_from_file : string -> t
+
+(** {2 Logical I/O counters} (aggregated over all tables) *)
+
+val rows_read : t -> int
+val rows_written : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,244 @@
+exception Exec_error of string
+
+(* evaluate sort keys once per tuple, then compare decorated pairs *)
+let sort_tuples keys tuples =
+  let decorated =
+    List.map
+      (fun t -> (List.map (fun (e, dir) -> (Expr.eval e t, dir)) keys, t))
+      tuples
+  in
+  let cmp (ka, _) (kb, _) =
+    let rec go a b =
+      match (a, b) with
+      | [], [] -> 0
+      | (va, dir) :: ra, (vb, _) :: rb ->
+          let c = Value.compare va vb in
+          if c <> 0 then (match dir with Plan.Asc -> c | Plan.Desc -> -c)
+          else go ra rb
+      | _ -> 0
+    in
+    go ka kb
+  in
+  List.map snd (List.stable_sort cmp decorated)
+
+type agg_state = {
+  mutable count : int;
+  mutable sum_i : int;
+  mutable sum_f : float;
+  mutable saw_float : bool;
+  mutable minv : Value.t;
+  mutable maxv : Value.t;
+}
+
+let new_agg_state () =
+  {
+    count = 0;
+    sum_i = 0;
+    sum_f = 0.0;
+    saw_float = false;
+    minv = Value.Null;
+    maxv = Value.Null;
+  }
+
+let agg_feed st (v : Value.t) =
+  match v with
+  | Value.Null -> ()
+  | v ->
+      st.count <- st.count + 1;
+      (match v with
+      | Value.Int i -> st.sum_i <- st.sum_i + i
+      | Value.Float f ->
+          st.saw_float <- true;
+          st.sum_f <- st.sum_f +. f
+      | Value.Str _ | Value.Bytes _ | Value.Null -> ());
+      if Value.is_null st.minv || Value.compare v st.minv < 0 then st.minv <- v;
+      if Value.is_null st.maxv || Value.compare v st.maxv > 0 then st.maxv <- v
+
+let agg_result (agg : Plan.agg) (star_count : int) st =
+  match agg with
+  | Plan.Count_star -> Value.Int star_count
+  | Plan.Count _ -> Value.Int st.count
+  | Plan.Sum _ ->
+      if st.count = 0 then Value.Null
+      else if st.saw_float then Value.Float (st.sum_f +. float_of_int st.sum_i)
+      else Value.Int st.sum_i
+  | Plan.Min _ -> st.minv
+  | Plan.Max _ -> st.maxv
+  | Plan.Avg _ ->
+      if st.count = 0 then Value.Null
+      else Value.Float ((st.sum_f +. float_of_int st.sum_i) /. float_of_int st.count)
+
+let agg_expr = function
+  | Plan.Count_star -> None
+  | Plan.Count e | Plan.Sum e | Plan.Min e | Plan.Max e | Plan.Avg e -> Some e
+
+let rec run (p : Plan.t) : Tuple.t Seq.t =
+  match p with
+  | Plan.Seq_scan t -> Seq.map snd (Table.scan t)
+  | Plan.Index_scan { table; index; lo; hi; reverse } ->
+      let entries =
+        if reverse then Btree.range_desc index.Table.tree ~lo ~hi
+        else Btree.range index.Table.tree ~lo ~hi
+      in
+      Seq.filter_map
+        (fun (_, rowid) ->
+          match Table.get table rowid with
+          | Some tu -> Some tu
+          | None -> None)
+        entries
+  | Plan.Filter (pred, input) ->
+      Seq.filter (fun t -> Expr.eval_bool pred t) (run input)
+  | Plan.Project (cols, input) ->
+      Seq.map
+        (fun t -> Array.map (fun (e, _) -> Expr.eval e t) cols)
+        (run input)
+  | Plan.Nl_join { outer; inner; pred } ->
+      (* materialize inner once; re-scan per outer row *)
+      let inner_rows = List.of_seq (run inner) in
+      Seq.concat_map
+        (fun ot ->
+          List.to_seq
+            (List.filter_map
+               (fun it ->
+                 let joined = Tuple.concat ot it in
+                 match pred with
+                 | None -> Some joined
+                 | Some e -> if Expr.eval_bool e joined then Some joined else None)
+               inner_rows))
+        (run outer)
+  | Plan.Hash_join { left; right; left_key; right_key; residual } ->
+      let table = Hashtbl.create 1024 in
+      Seq.iter
+        (fun lt ->
+          let k = Tuple.key left_key lt in
+          if not (Array.exists Value.is_null k) then
+            Hashtbl.add table (Tuple.hash_key k) (k, lt))
+        (run left);
+      Seq.concat_map
+        (fun rt ->
+          let k = Tuple.key right_key rt in
+          if Array.exists Value.is_null k then Seq.empty
+          else
+            let candidates = Hashtbl.find_all table (Tuple.hash_key k) in
+            List.to_seq
+              (List.rev
+                 (List.filter_map
+                    (fun (lk, lt) ->
+                      if Tuple.equal lk k then begin
+                        let joined = Tuple.concat lt rt in
+                        match residual with
+                        | None -> Some joined
+                        | Some e ->
+                            if Expr.eval_bool e joined then Some joined else None
+                      end
+                      else None)
+                    candidates)))
+        (run right)
+  | Plan.Merge_join { left; right; left_key; right_key; residual } ->
+      let lrows = Array.of_seq (run left) in
+      let rrows = Array.of_seq (run right) in
+      let emit = ref [] in
+      let li = ref 0 and ri = ref 0 in
+      let ln = Array.length lrows and rn = Array.length rrows in
+      while !li < ln && !ri < rn do
+        let lk = Tuple.key left_key lrows.(!li) in
+        let rk = Tuple.key right_key rrows.(!ri) in
+        let c = Tuple.compare_key lk rk in
+        if c < 0 then incr li
+        else if c > 0 then incr ri
+        else begin
+          (* collect both equal groups *)
+          let lstop = ref !li in
+          while
+            !lstop < ln && Tuple.compare_key (Tuple.key left_key lrows.(!lstop)) lk = 0
+          do
+            incr lstop
+          done;
+          let rstop = ref !ri in
+          while
+            !rstop < rn && Tuple.compare_key (Tuple.key right_key rrows.(!rstop)) rk = 0
+          do
+            incr rstop
+          done;
+          if not (Array.exists Value.is_null lk) then
+            for i = !li to !lstop - 1 do
+              for j = !ri to !rstop - 1 do
+                let joined = Tuple.concat lrows.(i) rrows.(j) in
+                match residual with
+                | None -> emit := joined :: !emit
+                | Some e -> if Expr.eval_bool e joined then emit := joined :: !emit
+              done
+            done;
+          li := !lstop;
+          ri := !rstop
+        end
+      done;
+      List.to_seq (List.rev !emit)
+  | Plan.Sort { input; keys } ->
+      let rows = List.of_seq (run input) in
+      List.to_seq (sort_tuples keys rows)
+  | Plan.Distinct input ->
+      let seen = Hashtbl.create 256 in
+      Seq.filter
+        (fun t ->
+          let h = Tuple.hash_key t in
+          let bucket = Hashtbl.find_all seen h in
+          if List.exists (fun u -> Tuple.equal u t) bucket then false
+          else begin
+            Hashtbl.add seen h t;
+            true
+          end)
+        (run input)
+  | Plan.Aggregate { input; group_by; aggs } ->
+      let groups : (int, Tuple.t * int ref * agg_state array) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      let order = ref [] in
+      Seq.iter
+        (fun t ->
+          let gkey = Array.map (fun (e, _) -> Expr.eval e t) group_by in
+          let h = Tuple.hash_key gkey in
+          let entry =
+            let candidates = Hashtbl.find_all groups h in
+            match List.find_opt (fun (k, _, _) -> Tuple.equal k gkey) candidates with
+            | Some e -> e
+            | None ->
+                let e =
+                  (gkey, ref 0, Array.init (Array.length aggs) (fun _ -> new_agg_state ()))
+                in
+                Hashtbl.add groups h e;
+                order := e :: !order;
+                e
+          in
+          let _, star, states = entry in
+          incr star;
+          Array.iteri
+            (fun i (agg, _) ->
+              match agg_expr agg with
+              | None -> ()
+              | Some e -> agg_feed states.(i) (Expr.eval e t))
+            aggs)
+        (run input);
+      let finalize (gkey, star, states) =
+        let aggvals =
+          Array.mapi (fun i (agg, _) -> agg_result agg !star states.(i)) aggs
+        in
+        Tuple.concat gkey aggvals
+      in
+      let entries = List.rev !order in
+      let entries =
+        (* global aggregate over an empty input still yields one row *)
+        if entries = [] && Array.length group_by = 0 then
+          [ ([||], ref 0, Array.init (Array.length aggs) (fun _ -> new_agg_state ())) ]
+        else entries
+      in
+      List.to_seq (List.map finalize entries)
+  | Plan.Limit { input; limit; offset } ->
+      let s = Seq.drop offset (run input) in
+      (match limit with None -> s | Some n -> Seq.take n s)
+  | Plan.Union_all branches ->
+      Seq.concat_map run (List.to_seq branches)
+
+let run_list p = List.of_seq (run p)
+
+let row_count p = Seq.fold_left (fun acc _ -> acc + 1) 0 (run p)

@@ -1,0 +1,13 @@
+(** Plan execution. Pipelining operators produce rows lazily; Sort, hash
+    builds, Distinct and Aggregate materialize as relational engines do. *)
+
+exception Exec_error of string
+
+val run : Plan.t -> Tuple.t Seq.t
+(** Evaluate the plan. The sequence may be consumed once. *)
+
+val run_list : Plan.t -> Tuple.t list
+(** Convenience: fully materialize the result. *)
+
+val row_count : Plan.t -> int
+(** Consume the plan counting rows. *)

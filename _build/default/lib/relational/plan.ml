@@ -1,0 +1,175 @@
+type order = Asc | Desc
+
+type agg =
+  | Count_star
+  | Count of Expr.t
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type t =
+  | Seq_scan of Table.t
+  | Index_scan of {
+      table : Table.t;
+      index : Table.index;
+      lo : Btree.bound;
+      hi : Btree.bound;
+      reverse : bool;
+    }
+  | Filter of Expr.t * t
+  | Project of (Expr.t * string) array * t
+  | Nl_join of { outer : t; inner : t; pred : Expr.t option }
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_key : int array;
+      right_key : int array;
+      residual : Expr.t option;
+    }
+  | Merge_join of {
+      left : t;
+      right : t;
+      left_key : int array;
+      right_key : int array;
+      residual : Expr.t option;
+    }
+  | Sort of { input : t; keys : (Expr.t * order) list }
+  | Distinct of t
+  | Aggregate of {
+      input : t;
+      group_by : (Expr.t * string) array;
+      aggs : (agg * string) array;
+    }
+  | Limit of { input : t; limit : int option; offset : int }
+  | Union_all of t list
+
+let expr_type schema (e : Expr.t) : Value.ty =
+  let rec go = function
+    | Expr.Const v -> Option.value (Value.type_of v) ~default:Value.Ttext
+    | Expr.Col i ->
+        if i < Array.length schema then schema.(i).Schema.col_type
+        else Value.Ttext
+    | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ | Expr.Is_null _
+    | Expr.Is_not_null _ | Expr.Like _ | Expr.In_list _ ->
+        Value.Tint
+    | Expr.Arith (_, a, b) -> begin
+        match (go a, go b) with
+        | Value.Tint, Value.Tint -> Value.Tint
+        | _ -> Value.Tfloat
+      end
+    | Expr.Neg a -> go a
+    | Expr.Concat _ -> Value.Ttext
+    | Expr.Func ((Expr.Length | Expr.Abs), _) -> Value.Tint
+    | Expr.Func ((Expr.Lower | Expr.Upper | Expr.Substr), _) -> Value.Ttext
+  in
+  go e
+
+let rec schema_of = function
+  | Seq_scan t | Index_scan { table = t; _ } -> Table.schema t
+  | Filter (_, p) | Distinct p -> schema_of p
+  | Project (cols, p) ->
+      let input = schema_of p in
+      Array.map
+        (fun (e, name) -> Schema.column name (expr_type input e))
+        cols
+  | Nl_join { outer; inner; _ } ->
+      Schema.concat (schema_of outer) (schema_of inner)
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+      Schema.concat (schema_of left) (schema_of right)
+  | Sort { input; _ } | Limit { input; _ } -> schema_of input
+  | Union_all [] -> [||]
+  | Union_all (p :: _) -> schema_of p
+  | Aggregate { input; group_by; aggs } ->
+      let ischema = schema_of input in
+      let groups =
+        Array.map (fun (e, name) -> Schema.column name (expr_type ischema e)) group_by
+      in
+      let aggcols =
+        Array.map
+          (fun (agg, name) ->
+            let ty =
+              match agg with
+              | Count_star | Count _ -> Value.Tint
+              | Avg _ -> Value.Tfloat
+              | Sum e | Min e | Max e -> expr_type ischema e
+            in
+            Schema.column name ty)
+          aggs
+      in
+      Array.append groups aggcols
+
+let agg_name = function
+  | Count_star -> "COUNT(*)"
+  | Count _ -> "COUNT"
+  | Sum _ -> "SUM"
+  | Min _ -> "MIN"
+  | Max _ -> "MAX"
+  | Avg _ -> "AVG"
+
+let bound_str = function
+  | Btree.Unbounded -> "-inf"
+  | Btree.Incl k -> "[" ^ Tuple.to_string k
+  | Btree.Excl k -> "(" ^ Tuple.to_string k
+
+let rec pp_indent ppf (level, p) =
+  let pad = String.make (level * 2) ' ' in
+  let child c = pp_indent ppf (level + 1, c) in
+  match p with
+  | Seq_scan t -> Format.fprintf ppf "%sSeqScan %s@." pad (Table.name t)
+  | Index_scan { table; index; lo; hi; reverse } ->
+      Format.fprintf ppf "%sIndexScan %s.%s %s .. %s%s@." pad (Table.name table)
+        index.Table.idx_name (bound_str lo) (bound_str hi)
+        (if reverse then " DESC" else "")
+  | Filter (e, p) ->
+      Format.fprintf ppf "%sFilter %a@." pad Expr.pp e;
+      child p
+  | Project (cols, p) ->
+      Format.fprintf ppf "%sProject [%s]@." pad
+        (String.concat ", " (Array.to_list (Array.map snd cols)));
+      child p
+  | Nl_join { outer; inner; pred } ->
+      Format.fprintf ppf "%sNestedLoopJoin%s@." pad
+        (match pred with
+        | None -> ""
+        | Some e -> Format.asprintf " on %a" Expr.pp e);
+      child outer;
+      child inner
+  | Hash_join { left; right; left_key; right_key; _ } ->
+      Format.fprintf ppf "%sHashJoin build(%s) probe(%s)@." pad
+        (String.concat "," (Array.to_list (Array.map string_of_int left_key)))
+        (String.concat "," (Array.to_list (Array.map string_of_int right_key)));
+      child left;
+      child right
+  | Merge_join { left; right; _ } ->
+      Format.fprintf ppf "%sMergeJoin@." pad;
+      child left;
+      child right
+  | Sort { input; keys } ->
+      Format.fprintf ppf "%sSort [%s]@." pad
+        (String.concat ", "
+           (List.map
+              (fun (e, o) ->
+                Format.asprintf "%a %s" Expr.pp e
+                  (match o with Asc -> "ASC" | Desc -> "DESC"))
+              keys));
+      child input
+  | Distinct p ->
+      Format.fprintf ppf "%sDistinct@." pad;
+      child p
+  | Aggregate { input; group_by; aggs } ->
+      Format.fprintf ppf "%sAggregate groups=[%s] aggs=[%s]@." pad
+        (String.concat ", " (Array.to_list (Array.map snd group_by)))
+        (String.concat ", "
+           (Array.to_list (Array.map (fun (a, _) -> agg_name a) aggs)));
+      child input
+  | Limit { input; limit; offset } ->
+      Format.fprintf ppf "%sLimit %s offset %d@." pad
+        (match limit with None -> "ALL" | Some n -> string_of_int n)
+        offset;
+      child input
+  | Union_all branches ->
+      Format.fprintf ppf "%sUnionAll@." pad;
+      List.iter child branches
+
+let pp ppf p = pp_indent ppf (0, p)

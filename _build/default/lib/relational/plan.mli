@@ -1,0 +1,56 @@
+(** Physical query plans (volcano-style operators). *)
+
+type order = Asc | Desc
+
+type agg =
+  | Count_star
+  | Count of Expr.t
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type t =
+  | Seq_scan of Table.t
+  | Index_scan of {
+      table : Table.t;
+      index : Table.index;
+      lo : Btree.bound;
+      hi : Btree.bound;
+      reverse : bool;
+    }  (** rows in index-key order within [lo, hi] *)
+  | Filter of Expr.t * t
+  | Project of (Expr.t * string) array * t
+  | Nl_join of { outer : t; inner : t; pred : Expr.t option }
+      (** predicate evaluated over the concatenated schema (outer then inner) *)
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_key : int array;
+      right_key : int array;
+      residual : Expr.t option;
+    }  (** equi-join; build on left, probe with right *)
+  | Merge_join of {
+      left : t;
+      right : t;
+      left_key : int array;
+      right_key : int array;
+      residual : Expr.t option;
+    }  (** inputs must already be sorted on their key columns *)
+  | Sort of { input : t; keys : (Expr.t * order) list }
+  | Distinct of t
+  | Aggregate of {
+      input : t;
+      group_by : (Expr.t * string) array;
+      aggs : (agg * string) array;
+    }  (** output = group columns then one column per aggregate *)
+  | Limit of { input : t; limit : int option; offset : int }
+  | Union_all of t list
+      (** concatenation of branch outputs; arities must agree *)
+
+val schema_of : t -> Schema.t
+(** Output schema of a plan. Column types for computed expressions are
+    approximated (TEXT for concatenations, INT for counts, etc.). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented plan tree, EXPLAIN-style. *)

@@ -1,0 +1,813 @@
+exception Plan_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Plan_error s)) fmt
+
+(* Virtual column encoding while the join order is still open:
+   tbl_idx * slot_width + local column. *)
+let slot_width = 1_000_000
+let vcol tbl col = (tbl * slot_width) + col
+let vcol_table v = v / slot_width
+let vcol_local v = v mod slot_width
+
+let agg_funcs = [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+
+let scalar_func = function
+  | "LENGTH" -> Some Expr.Length
+  | "ABS" -> Some Expr.Abs
+  | "LOWER" -> Some Expr.Lower
+  | "UPPER" -> Some Expr.Upper
+  | "SUBSTR" | "SUBSTRING" -> Some Expr.Substr
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type from_entry = { alias : string; table : Table.t; tbl_idx : int }
+
+let norm = String.lowercase_ascii
+
+let make_env catalog (from : (string * string option) list) =
+  List.mapi
+    (fun i (name, alias) ->
+      match Catalog.find_table catalog name with
+      | None -> fail "no such table %s" name
+      | Some table ->
+          { alias = norm (Option.value alias ~default:name); table; tbl_idx = i })
+    from
+
+let resolve_col env qualifier name =
+  match qualifier with
+  | Some q -> begin
+      match List.find_opt (fun e -> e.alias = norm q) env with
+      | None -> fail "unknown table alias %s" q
+      | Some e -> (
+          match Schema.find_opt (Table.schema e.table) name with
+          | Some c -> vcol e.tbl_idx c
+          | None -> fail "table %s has no column %s" q name)
+    end
+  | None -> begin
+      let hits =
+        List.filter_map
+          (fun e ->
+            Option.map (fun c -> vcol e.tbl_idx c)
+              (Schema.find_opt (Table.schema e.table) name))
+          env
+      in
+      match hits with
+      | [ v ] -> v
+      | [] -> fail "unknown column %s" name
+      | _ -> fail "ambiguous column %s" name
+    end
+
+(* Resolve a surface expression to an Expr with virtual column numbers.
+   Aggregate calls are rejected here; the aggregate path extracts them before
+   calling this. *)
+let rec resolve env (e : Sql_ast.sexpr) : Expr.t =
+  match e with
+  | Sql_ast.E_const v -> Expr.Const v
+  | Sql_ast.E_col (q, n) -> Expr.Col (resolve_col env q n)
+  | Sql_ast.E_cmp (op, a, b) -> Expr.Cmp (op, resolve env a, resolve env b)
+  | Sql_ast.E_and (a, b) -> Expr.And (resolve env a, resolve env b)
+  | Sql_ast.E_or (a, b) -> Expr.Or (resolve env a, resolve env b)
+  | Sql_ast.E_not a -> Expr.Not (resolve env a)
+  | Sql_ast.E_arith (op, a, b) -> Expr.Arith (op, resolve env a, resolve env b)
+  | Sql_ast.E_neg a -> Expr.Neg (resolve env a)
+  | Sql_ast.E_concat (a, b) -> Expr.Concat (resolve env a, resolve env b)
+  | Sql_ast.E_is_null a -> Expr.Is_null (resolve env a)
+  | Sql_ast.E_is_not_null a -> Expr.Is_not_null (resolve env a)
+  | Sql_ast.E_like (a, p) -> Expr.Like (resolve env a, p)
+  | Sql_ast.E_in (a, vs) -> Expr.In_list (resolve env a, vs)
+  | Sql_ast.E_between (a, lo, hi) ->
+      let a' = resolve env a in
+      Expr.And
+        ( Expr.Cmp (Expr.Ge, a', resolve env lo),
+          Expr.Cmp (Expr.Le, a', resolve env hi) )
+  | Sql_ast.E_func (name, args) -> begin
+      match scalar_func name with
+      | Some f -> Expr.Func (f, List.map (resolve env) args)
+      | None ->
+          if List.mem name agg_funcs then
+            fail "aggregate %s not allowed here" name
+          else fail "unknown function %s" name
+    end
+  | Sql_ast.E_star -> fail "* not allowed in this context"
+
+let rec contains_agg (e : Sql_ast.sexpr) =
+  match e with
+  | Sql_ast.E_func (name, args) ->
+      List.mem name agg_funcs || List.exists contains_agg args
+  | Sql_ast.E_const _ | Sql_ast.E_col _ | Sql_ast.E_star -> false
+  | Sql_ast.E_cmp (_, a, b)
+  | Sql_ast.E_and (a, b)
+  | Sql_ast.E_or (a, b)
+  | Sql_ast.E_arith (_, a, b)
+  | Sql_ast.E_concat (a, b) ->
+      contains_agg a || contains_agg b
+  | Sql_ast.E_between (a, b, c) ->
+      contains_agg a || contains_agg b || contains_agg c
+  | Sql_ast.E_not a
+  | Sql_ast.E_neg a
+  | Sql_ast.E_is_null a
+  | Sql_ast.E_is_not_null a
+  | Sql_ast.E_like (a, _)
+  | Sql_ast.E_in (a, _) ->
+      contains_agg a
+
+(* ------------------------------------------------------------------ *)
+(* Access-path selection                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A conjunct over one table, with columns local to its schema. *)
+
+type range_side = { cmp : Expr.cmp; const : Value.t }
+
+(* For an index, try to consume conjuncts: equalities on a key prefix, then
+   ranges on the following key column. Returns (consumed, lo, hi, score). *)
+let match_index (idx : Table.index) conjuncts =
+  let eq_on col =
+    List.find_opt
+      (fun c ->
+        match c with
+        | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Const v)
+        | Expr.Cmp (Expr.Eq, Expr.Const v, Expr.Col i) ->
+            i = col && not (Value.is_null v)
+        | _ -> false)
+      conjuncts
+  in
+  let const_of = function
+    | Expr.Cmp (_, Expr.Col _, Expr.Const v) | Expr.Cmp (_, Expr.Const v, Expr.Col _)
+      ->
+        v
+    | _ -> assert false
+  in
+  let ranges_on col =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Expr.Cmp (op, Expr.Col i, Expr.Const v)
+          when i = col && (not (Value.is_null v))
+               && (op = Expr.Lt || op = Expr.Le || op = Expr.Gt || op = Expr.Ge)
+          ->
+            Some (c, { cmp = op; const = v })
+        | Expr.Cmp (op, Expr.Const v, Expr.Col i)
+          when i = col && (not (Value.is_null v))
+               && (op = Expr.Lt || op = Expr.Le || op = Expr.Gt || op = Expr.Ge)
+          ->
+            (* flip: v op col  <=>  col op' v *)
+            let flipped =
+              match op with
+              | Expr.Lt -> Expr.Gt
+              | Expr.Le -> Expr.Ge
+              | Expr.Gt -> Expr.Lt
+              | Expr.Ge -> Expr.Le
+              | Expr.Eq | Expr.Ne -> op
+            in
+            Some (c, { cmp = flipped; const = v })
+        | _ -> None)
+      conjuncts
+  in
+  let key = idx.Table.key_cols in
+  let rec eat_prefix i consumed prefix =
+    if i >= Array.length key then (i, consumed, prefix)
+    else
+      match eq_on key.(i) with
+      | Some c -> eat_prefix (i + 1) (c :: consumed) (const_of c :: prefix)
+      | None -> (i, consumed, prefix)
+  in
+  let neq, consumed, rev_prefix = eat_prefix 0 [] [] in
+  let prefix = Array.of_list (List.rev rev_prefix) in
+  let lo0 = if Array.length prefix = 0 then Btree.Unbounded else Btree.Incl prefix in
+  let hi0 = if Array.length prefix = 0 then Btree.Unbounded else Btree.Incl prefix in
+  if neq >= Array.length key then (consumed, lo0, hi0, (2 * neq) + 1)
+  else begin
+    let next_col = key.(neq) in
+    let rs = ranges_on next_col in
+    if rs = [] then (consumed, lo0, hi0, 2 * neq)
+    else begin
+      (* fold all ranges on the column into one lo and one hi *)
+      let lo = ref lo0 and hi = ref hi0 and used = ref consumed in
+      List.iter
+        (fun (c, { cmp; const }) ->
+          let k = Array.append prefix [| const |] in
+          (* Bounds use truncated-prefix semantics (see Btree.range), so a
+             key that extends another covers a narrower slice: the longer
+             key is always the tighter bound, for lo and hi alike. For
+             equal keys Excl is tighter. *)
+          let strict_prefix a b =
+            Array.length a < Array.length b
+            && Tuple.compare_key a (Array.sub b 0 (Array.length a)) = 0
+          in
+          let tighter ~keep_larger current cand =
+            match (current, cand) with
+            | Btree.Unbounded, b -> b
+            | b, Btree.Unbounded -> b
+            | (Btree.Incl a | Btree.Excl a), (Btree.Incl b | Btree.Excl b) ->
+                if strict_prefix a b then cand
+                else if strict_prefix b a then current
+                else
+                  let c = Tuple.compare_key a b in
+                  if c = 0 then
+                    match (current, cand) with
+                    | Btree.Excl _, _ -> current
+                    | _, (Btree.Excl _ as b) -> b
+                    | a, _ -> a
+                  else if (c > 0) = keep_larger then current
+                  else cand
+          in
+          let stronger_lo = tighter ~keep_larger:true in
+          let stronger_hi = tighter ~keep_larger:false in
+          match cmp with
+          | Expr.Ge ->
+              lo := stronger_lo !lo (Btree.Incl k);
+              used := c :: !used
+          | Expr.Gt ->
+              lo := stronger_lo !lo (Btree.Excl k);
+              used := c :: !used
+          | Expr.Le ->
+              hi := stronger_hi !hi (Btree.Incl k);
+              used := c :: !used
+          | Expr.Lt ->
+              hi := stronger_hi !hi (Btree.Excl k);
+              used := c :: !used
+          | Expr.Eq | Expr.Ne -> ())
+        rs;
+      (* A pure range (no eq prefix) with only an upper bound must still be
+         constrained below by the prefix, which is empty: fine. *)
+      (!used, !lo, !hi, (2 * neq) + 1)
+    end
+  end
+
+(* Choose the best access path for [table] given local conjuncts. Returns the
+   plan for the scan plus residual conjuncts (already-consumed conjuncts are
+   exact and dropped). *)
+let choose_access table conjuncts =
+  let best = ref None in
+  List.iter
+    (fun idx ->
+      let consumed, lo, hi, score = match_index idx conjuncts in
+      if score > 0 then
+        match !best with
+        | Some (_, _, _, _, s) when s >= score -> ()
+        | _ -> best := Some (idx, consumed, lo, hi, score))
+    (Table.indexes table);
+  match !best with
+  | None -> (Plan.Seq_scan table, conjuncts)
+  | Some (idx, consumed, lo, hi, _) ->
+      let residual =
+        List.filter (fun c -> not (List.memq c consumed)) conjuncts
+      in
+      (Plan.Index_scan { table; index = idx; lo; hi; reverse = false }, residual)
+
+let with_filter plan = function
+  | [] -> plan
+  | conjuncts -> (
+      match Expr.conjoin conjuncts with
+      | None -> plan
+      | Some pred -> Plan.Filter (pred, plan))
+
+(* ------------------------------------------------------------------ *)
+(* Join ordering                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cols_of_tables e = List.map vcol_table (Expr.columns e) |> List.sort_uniq compare
+
+let plan_joins env table_plans vconjuncts =
+  (* table_plans: tbl_idx -> (plan, residual local conjuncts applied) *)
+  let n = List.length env in
+  let placed = Array.make n (-1) in
+  (* physical offset per table once placed *)
+  let arity i =
+    Schema.arity (Table.schema (List.nth env i).table)
+  in
+  let remaining = ref (List.init n (fun i -> i)) in
+  let used = ref [] in
+  let conj_remaining = ref vconjuncts in
+  (* virtual -> physical, once all referenced tables are placed *)
+  let to_physical e =
+    Expr.map_columns (fun v -> placed.(vcol_table v) + vcol_local v) e
+  in
+  let all_placed e =
+    List.for_all (fun t -> placed.(t) >= 0) (cols_of_tables e)
+  in
+  (* pick the first table: prefer an indexed access path, then the fewest
+     estimated rows (a crude cardinality model: each pushed conjunct is
+     assumed to keep a third of the rows) *)
+  let estimate i =
+    let plan, residual = List.nth table_plans i in
+    let base =
+      match plan with
+      | Plan.Seq_scan t | Plan.Index_scan { table = t; _ } ->
+          float_of_int (Table.row_count t)
+      | _ -> 1e9
+    in
+    let indexed = match plan with Plan.Index_scan _ -> 0.05 | _ -> 1.0 in
+    base *. indexed /. (3.0 ** float_of_int (List.length residual))
+  in
+  let first =
+    List.fold_left
+      (fun best i -> if estimate i < estimate best then i else best)
+      (List.hd !remaining) !remaining
+  in
+  let base_plan, base_resid = List.nth table_plans first in
+  placed.(first) <- 0;
+  used := [ first ];
+  remaining := List.filter (fun i -> i <> first) !remaining;
+  let current = ref (with_filter base_plan base_resid) in
+  let current_arity = ref (arity first) in
+  while !remaining <> [] do
+    (* find a remaining table connected by an equi-join conjunct *)
+    let connects j =
+      List.exists
+        (fun c ->
+          match c with
+          | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+              let ta = vcol_table a and tb = vcol_table b in
+              (ta = j && List.mem tb !used) || (tb = j && List.mem ta !used)
+          | _ -> false)
+        !conj_remaining
+    in
+    let j =
+      match List.find_opt connects !remaining with
+      | Some j -> j
+      | None -> List.hd !remaining
+    in
+    let jplan, jresid = List.nth table_plans j in
+    let right_plan = with_filter jplan jresid in
+    let right_arity = arity j in
+    (* equi pairs between used-set and j *)
+    let eq_pairs, rest =
+      List.partition
+        (fun c ->
+          match c with
+          | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+              let ta = vcol_table a and tb = vcol_table b in
+              (ta = j && List.mem tb !used) || (tb = j && List.mem ta !used)
+          | _ -> false)
+        !conj_remaining
+    in
+    conj_remaining := rest;
+    if eq_pairs = [] then begin
+      (* cross/theta join: take any conjuncts that become evaluable *)
+      placed.(j) <- !current_arity;
+      used := j :: !used;
+      let now, later =
+        List.partition all_placed !conj_remaining
+      in
+      conj_remaining := later;
+      let pred = Expr.conjoin (List.map to_physical now) in
+      current := Plan.Nl_join { outer = !current; inner = right_plan; pred };
+      current_arity := !current_arity + right_arity
+    end
+    else begin
+      let left_keys, right_keys =
+        List.split
+          (List.map
+             (fun c ->
+               match c with
+               | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+                   let ta = vcol_table a in
+                   if ta = j then
+                     (placed.(vcol_table b) + vcol_local b, vcol_local a)
+                   else (placed.(ta) + vcol_local a, vcol_local b)
+               | _ -> assert false)
+             eq_pairs)
+      in
+      placed.(j) <- !current_arity;
+      used := j :: !used;
+      let now, later = List.partition all_placed !conj_remaining in
+      conj_remaining := later;
+      let residual = Expr.conjoin (List.map to_physical now) in
+      current :=
+        Plan.Hash_join
+          {
+            left = !current;
+            right = right_plan;
+            left_key = Array.of_list left_keys;
+            right_key = Array.of_list right_keys;
+            residual;
+          };
+      current_arity := !current_arity + right_arity
+    end;
+    remaining := List.filter (fun i -> i <> j) !remaining
+  done;
+  if !conj_remaining <> [] then
+    fail "internal: unplaced conjuncts after join ordering";
+  (!current, placed)
+
+(* ------------------------------------------------------------------ *)
+(* Sort elimination                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec scan_of = function
+  | Plan.Index_scan _ as p -> Some p
+  | Plan.Filter (_, p) -> scan_of p
+  | _ -> None
+
+let rec replace_scan plan new_scan =
+  match plan with
+  | Plan.Index_scan _ -> new_scan
+  | Plan.Filter (e, p) -> Plan.Filter (e, replace_scan p new_scan)
+  | p -> p
+
+(* If the plan is a single-table chain over an index scan whose key order
+   already matches the ORDER BY columns, drop the sort (reversing the scan
+   direction for DESC). *)
+let try_order_via_index plan (keys : (Expr.t * Plan.order) list) =
+  match scan_of plan with
+  | Some (Plan.Index_scan ({ index; _ } as is)) ->
+      let dirs = List.map snd keys in
+      let all_asc = List.for_all (fun d -> d = Plan.Asc) dirs in
+      let all_desc = List.for_all (fun d -> d = Plan.Desc) dirs in
+      let cols =
+        List.map (fun (e, _) -> match e with Expr.Col i -> Some i | _ -> None) keys
+      in
+      if (not (all_asc || all_desc)) || List.exists Option.is_none cols then None
+      else begin
+        let cols = List.map Option.get cols in
+        let key_cols = Array.to_list index.Table.key_cols in
+        let rec is_prefix a b =
+          match (a, b) with
+          | [], _ -> true
+          | x :: xs, y :: ys -> x = y && is_prefix xs ys
+          | _ :: _, [] -> false
+        in
+        if is_prefix cols key_cols then
+          Some
+            (replace_scan plan
+               (Plan.Index_scan { is with reverse = all_desc }))
+        else None
+      end
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* SELECT planning                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let item_name i (item : Sql_ast.select_item) =
+  match item with
+  | Sql_ast.Item (_, Some alias) -> alias
+  | Sql_ast.Item (Sql_ast.E_col (_, n), None) -> n
+  | Sql_ast.Item (Sql_ast.E_func (f, _), None) -> String.lowercase_ascii f
+  | Sql_ast.Item _ -> Printf.sprintf "col%d" i
+  | Sql_ast.Star -> "*"
+
+let expand_star env placed =
+  (* all columns of all tables, in join order *)
+  let entries =
+    List.sort (fun a b -> compare placed.(a.tbl_idx) placed.(b.tbl_idx)) env
+  in
+  List.concat_map
+    (fun e ->
+      let schema = Table.schema e.table in
+      List.mapi
+        (fun c (col : Schema.column) ->
+          (Expr.Col (placed.(e.tbl_idx) + c), col.Schema.col_name))
+        (Array.to_list schema))
+    entries
+
+let extract_agg env (e : Sql_ast.sexpr) : Plan.agg =
+  match e with
+  | Sql_ast.E_func ("COUNT", [ Sql_ast.E_star ]) -> Plan.Count_star
+  | Sql_ast.E_func ("COUNT", [ a ]) -> Plan.Count (resolve env a)
+  | Sql_ast.E_func ("SUM", [ a ]) -> Plan.Sum (resolve env a)
+  | Sql_ast.E_func ("MIN", [ a ]) -> Plan.Min (resolve env a)
+  | Sql_ast.E_func ("MAX", [ a ]) -> Plan.Max (resolve env a)
+  | Sql_ast.E_func ("AVG", [ a ]) -> Plan.Avg (resolve env a)
+  | Sql_ast.E_func (f, _) when List.mem f agg_funcs ->
+      fail "%s takes exactly one argument" f
+  | _ -> fail "only plain aggregate calls are supported in SELECT"
+
+let plan_select catalog (q : Sql_ast.select) =
+  if q.from = [] then fail "FROM clause is required";
+  let env = make_env catalog q.from in
+  (* duplicate alias check *)
+  let aliases = List.map (fun e -> e.alias) env in
+  if List.length (List.sort_uniq compare aliases) <> List.length aliases then
+    fail "duplicate table alias in FROM";
+  let vconjuncts =
+    match q.where with
+    | None -> []
+    | Some w ->
+        if contains_agg w then fail "aggregates are not allowed in WHERE";
+        Expr.conjuncts (resolve env w)
+  in
+  (* split single-table conjuncts *)
+  let single, multi =
+    List.partition (fun c -> List.length (cols_of_tables c) <= 1) vconjuncts
+  in
+  let table_plans =
+    List.map
+      (fun e ->
+        let mine =
+          List.filter
+            (fun c ->
+              match cols_of_tables c with
+              | [ t ] -> t = e.tbl_idx
+              | [] -> false (* constant predicates handled below *)
+              | _ -> assert false)
+            single
+        in
+        let local =
+          List.map (Expr.map_columns (fun v -> vcol_local v)) mine
+        in
+        choose_access e.table local)
+      env
+  in
+  let const_preds =
+    List.filter (fun c -> cols_of_tables c = []) single
+  in
+  let joined, placed = plan_joins env table_plans multi in
+  let joined = with_filter joined const_preds in
+  (* aggregation? *)
+  let has_agg =
+    q.group_by <> [] || q.having <> None
+    || List.exists
+         (function Sql_ast.Item (e, _) -> contains_agg e | Sql_ast.Star -> false)
+         q.items
+  in
+  if (not has_agg) && q.having <> None then fail "HAVING requires aggregation";
+  let to_physical e =
+    Expr.map_columns (fun v -> placed.(vcol_table v) + vcol_local v) e
+  in
+  let resolve_phys e = to_physical (resolve env e) in
+  if not has_agg then begin
+    (* items *)
+    let projections =
+      List.concat
+        (List.mapi
+           (fun i item ->
+             match item with
+             | Sql_ast.Star -> expand_star env placed
+             | Sql_ast.Item (e, _) -> [ (resolve_phys e, item_name i item) ])
+           q.items)
+    in
+    let order_keys =
+      List.map
+        (fun (e, dir) ->
+          (resolve_phys e, match dir with Sql_ast.Asc -> Plan.Asc | Sql_ast.Desc -> Plan.Desc))
+        q.order_by
+    in
+    let sorted =
+      if order_keys = [] then joined
+      else
+        match try_order_via_index joined order_keys with
+        | Some p -> p
+        | None -> Plan.Sort { input = joined; keys = order_keys }
+    in
+    let projected = Plan.Project (Array.of_list projections, sorted) in
+    let distinct = if q.distinct then Plan.Distinct projected else projected in
+    match (q.limit, q.offset) with
+    | None, None -> distinct
+    | limit, offset ->
+        Plan.Limit { input = distinct; limit; offset = Option.value offset ~default:0 }
+  end
+  else begin
+    (* aggregate path *)
+    let group_exprs =
+      List.map (fun e -> (resolve_phys e, Format.asprintf "%a" Expr.pp (resolve_phys e))) q.group_by
+    in
+    let n_groups = List.length group_exprs in
+    let aggs = ref [] in
+    (* map each select item onto the aggregate output *)
+    let item_exprs =
+      List.mapi
+        (fun i item ->
+          match item with
+          | Sql_ast.Star -> fail "SELECT * cannot be combined with aggregation"
+          | Sql_ast.Item (e, _) ->
+              let name = item_name i item in
+              if contains_agg e then begin
+                match e with
+                | Sql_ast.E_func (_, _) ->
+                    let agg = extract_agg env e in
+                    let agg =
+                      (match agg with
+                      | Plan.Count_star -> Plan.Count_star
+                      | Plan.Count x -> Plan.Count (to_physical x)
+                      | Plan.Sum x -> Plan.Sum (to_physical x)
+                      | Plan.Min x -> Plan.Min (to_physical x)
+                      | Plan.Max x -> Plan.Max (to_physical x)
+                      | Plan.Avg x -> Plan.Avg (to_physical x))
+                    in
+                    let pos = n_groups + List.length !aggs in
+                    aggs := !aggs @ [ (agg, name) ];
+                    (Expr.Col pos, name)
+                | _ -> fail "aggregates must appear as top-level SELECT items"
+              end
+              else begin
+                let phys = resolve_phys e in
+                match
+                  List.find_index
+                    (fun (g, _) -> g = phys)
+                    group_exprs
+                with
+                | Some gi -> (Expr.Col gi, name)
+                | None -> (
+                    match phys with
+                    | Expr.Const _ -> (phys, name)
+                    | _ ->
+                        fail
+                          "non-aggregated SELECT item must appear in GROUP BY")
+              end)
+        q.items
+    in
+    (* resolve an expression against the aggregate output: aggregate calls
+       map to their output column (appending new ones as needed), any
+       aggregate-free subexpression must match a GROUP BY expression *)
+    let agg_output_col agg name =
+      match List.find_index (fun (a, _) -> a = agg) !aggs with
+      | Some ai -> n_groups + ai
+      | None ->
+          let pos = n_groups + List.length !aggs in
+          aggs := !aggs @ [ (agg, name) ];
+          pos
+    in
+    let to_phys_agg agg =
+      match agg with
+      | Plan.Count_star -> Plan.Count_star
+      | Plan.Count x -> Plan.Count (to_physical x)
+      | Plan.Sum x -> Plan.Sum (to_physical x)
+      | Plan.Min x -> Plan.Min (to_physical x)
+      | Plan.Max x -> Plan.Max (to_physical x)
+      | Plan.Avg x -> Plan.Avg (to_physical x)
+    in
+    let rec resolve_over_agg (e : Sql_ast.sexpr) : Expr.t =
+      (* aggregate calls map to output columns; any aggregate-free
+         subexpression matching a GROUP BY expression maps to its group
+         column; otherwise decompose structurally *)
+      let group_match =
+        if contains_agg e then None
+        else
+          match e with
+          | Sql_ast.E_const _ -> None
+          | e -> (
+              match
+                List.find_index
+                  (fun (g, _) -> g = resolve_phys e)
+                  group_exprs
+              with
+              | Some gi -> Some (Expr.Col gi)
+              | None -> None)
+      in
+      match (group_match, e) with
+      | Some col, _ -> col
+      | None, Sql_ast.E_const v -> Expr.Const v
+      | None, Sql_ast.E_func (name, _) when List.mem name agg_funcs ->
+          Expr.Col
+            (agg_output_col
+               (to_phys_agg (extract_agg env e))
+               (String.lowercase_ascii name))
+      | None, e -> resolve_over_agg_structural e
+
+    and resolve_over_agg_structural (e : Sql_ast.sexpr) : Expr.t =
+      match e with
+      | Sql_ast.E_cmp (op, a, b) ->
+          Expr.Cmp (op, resolve_over_agg a, resolve_over_agg b)
+      | Sql_ast.E_and (a, b) -> Expr.And (resolve_over_agg a, resolve_over_agg b)
+      | Sql_ast.E_or (a, b) -> Expr.Or (resolve_over_agg a, resolve_over_agg b)
+      | Sql_ast.E_not a -> Expr.Not (resolve_over_agg a)
+      | Sql_ast.E_arith (op, a, b) ->
+          Expr.Arith (op, resolve_over_agg a, resolve_over_agg b)
+      | Sql_ast.E_neg a -> Expr.Neg (resolve_over_agg a)
+      | Sql_ast.E_concat (a, b) ->
+          Expr.Concat (resolve_over_agg a, resolve_over_agg b)
+      | Sql_ast.E_is_null a -> Expr.Is_null (resolve_over_agg a)
+      | Sql_ast.E_is_not_null a -> Expr.Is_not_null (resolve_over_agg a)
+      | Sql_ast.E_between (a, lo, hi) ->
+          let a' = resolve_over_agg a in
+          Expr.And
+            ( Expr.Cmp (Expr.Ge, a', resolve_over_agg lo),
+              Expr.Cmp (Expr.Le, a', resolve_over_agg hi) )
+      | Sql_ast.E_in (a, vs) -> Expr.In_list (resolve_over_agg a, vs)
+      | Sql_ast.E_like (a, p) -> Expr.Like (resolve_over_agg a, p)
+      | Sql_ast.E_col _ | Sql_ast.E_func _ | Sql_ast.E_star | Sql_ast.E_const _
+        ->
+          fail "HAVING must use aggregates or GROUP BY expressions"
+    in
+    let having_pred = Option.map resolve_over_agg q.having in
+    let agg_plan =
+      Plan.Aggregate
+        {
+          input = joined;
+          group_by = Array.of_list group_exprs;
+          aggs = Array.of_list !aggs;
+        }
+    in
+    let agg_plan =
+      match having_pred with
+      | None -> agg_plan
+      | Some pred -> Plan.Filter (pred, agg_plan)
+    in
+    (* ORDER BY over aggregate output: match group exprs or aggregate items *)
+    let order_keys =
+      List.map
+        (fun (e, dir) ->
+          let dir = match dir with Sql_ast.Asc -> Plan.Asc | Sql_ast.Desc -> Plan.Desc in
+          if contains_agg e then begin
+            let agg = extract_agg env e in
+            let agg =
+              match agg with
+              | Plan.Count_star -> Plan.Count_star
+              | Plan.Count x -> Plan.Count (to_physical x)
+              | Plan.Sum x -> Plan.Sum (to_physical x)
+              | Plan.Min x -> Plan.Min (to_physical x)
+              | Plan.Max x -> Plan.Max (to_physical x)
+              | Plan.Avg x -> Plan.Avg (to_physical x)
+            in
+            match List.find_index (fun (a, _) -> a = agg) !aggs with
+            | Some ai -> (Expr.Col (n_groups + ai), dir)
+            | None -> fail "ORDER BY aggregate must also be selected"
+          end
+          else
+            let phys = resolve_phys e in
+            match List.find_index (fun (g, _) -> g = phys) group_exprs with
+            | Some gi -> (Expr.Col gi, dir)
+            | None -> fail "ORDER BY must reference GROUP BY expressions"
+        )
+        q.order_by
+    in
+    let sorted =
+      if order_keys = [] then agg_plan
+      else Plan.Sort { input = agg_plan; keys = order_keys }
+    in
+    let projected = Plan.Project (Array.of_list item_exprs, sorted) in
+    let distinct = if q.distinct then Plan.Distinct projected else projected in
+    match (q.limit, q.offset) with
+    | None, None -> distinct
+    | limit, offset ->
+        Plan.Limit { input = distinct; limit; offset = Option.value offset ~default:0 }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Single-table helpers for UPDATE/DELETE                              *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_expr_for_table table e =
+  let schema = Table.schema table in
+  let env_resolve q n =
+    (match q with
+    | Some q when norm q <> norm (Table.name table) ->
+        fail "unknown table alias %s" q
+    | _ -> ());
+    match Schema.find_opt schema n with
+    | Some c -> c
+    | None -> fail "table %s has no column %s" (Table.name table) n
+  in
+  let rec go (e : Sql_ast.sexpr) : Expr.t =
+    match e with
+    | Sql_ast.E_const v -> Expr.Const v
+    | Sql_ast.E_col (q, n) -> Expr.Col (env_resolve q n)
+    | Sql_ast.E_cmp (op, a, b) -> Expr.Cmp (op, go a, go b)
+    | Sql_ast.E_and (a, b) -> Expr.And (go a, go b)
+    | Sql_ast.E_or (a, b) -> Expr.Or (go a, go b)
+    | Sql_ast.E_not a -> Expr.Not (go a)
+    | Sql_ast.E_arith (op, a, b) -> Expr.Arith (op, go a, go b)
+    | Sql_ast.E_neg a -> Expr.Neg (go a)
+    | Sql_ast.E_concat (a, b) -> Expr.Concat (go a, go b)
+    | Sql_ast.E_is_null a -> Expr.Is_null (go a)
+    | Sql_ast.E_is_not_null a -> Expr.Is_not_null (go a)
+    | Sql_ast.E_like (a, p) -> Expr.Like (go a, p)
+    | Sql_ast.E_in (a, vs) -> Expr.In_list (go a, vs)
+    | Sql_ast.E_between (a, lo, hi) ->
+        let a' = go a in
+        Expr.And (Expr.Cmp (Expr.Ge, a', go lo), Expr.Cmp (Expr.Le, a', go hi))
+    | Sql_ast.E_func (name, args) -> begin
+        match scalar_func name with
+        | Some f -> Expr.Func (f, List.map go args)
+        | None -> fail "function %s not allowed here" name
+      end
+    | Sql_ast.E_star -> fail "* not allowed here"
+  in
+  go e
+
+let access_for table pred =
+  let conjuncts = match pred with None -> [] | Some p -> Expr.conjuncts p in
+  choose_access table conjuncts
+
+let table_candidates table pred =
+  let scan, residual = access_for table pred in
+  let rows =
+    match scan with
+    | Plan.Seq_scan t -> Table.scan t
+    | Plan.Index_scan { table = t; index; lo; hi; _ } ->
+        Seq.filter_map
+          (fun (_, rowid) ->
+            Option.map (fun tu -> (rowid, tu)) (Table.get t rowid))
+          (Btree.range index.Table.tree ~lo ~hi)
+    | _ -> assert false
+  in
+  match Expr.conjoin residual with
+  | None -> rows
+  | Some pred -> Seq.filter (fun (_, tu) -> Expr.eval_bool pred tu) rows
+
+let access_path_description table pred =
+  let scan, residual = access_for table pred in
+  let base =
+    match scan with
+    | Plan.Seq_scan t -> Printf.sprintf "SeqScan(%s)" (Table.name t)
+    | Plan.Index_scan { index; _ } ->
+        Printf.sprintf "IndexScan(%s)" index.Table.idx_name
+    | _ -> assert false
+  in
+  if residual = [] then base else base ^ "+filter"

@@ -1,0 +1,33 @@
+(** Table and result-set schemas. *)
+
+type column = { col_name : string; col_type : Value.ty; nullable : bool }
+
+type t = column array
+
+val column : ?nullable:bool -> string -> Value.ty -> column
+(** Columns are nullable by default. *)
+
+val make : (string * Value.ty) list -> t
+(** Nullable columns with the given names/types. *)
+
+val arity : t -> int
+
+val find : t -> string -> int
+(** Position of the named column (case-insensitive).
+    @raise Not_found if absent. *)
+
+val find_opt : t -> string -> int option
+
+val names : t -> string list
+
+val concat : t -> t -> t
+(** Schema of a join result. *)
+
+val rename_prefix : string -> t -> t
+(** Qualify every column name with ["alias."]. *)
+
+val check_tuple : t -> Value.t array -> (unit, string) result
+(** Validate arity, types and null constraints of a tuple against the
+    schema. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SQL dialect described in the README:
+    single-block SELECT (joins expressed in the FROM/WHERE clauses, GROUP BY,
+    ORDER BY, LIMIT/OFFSET), INSERT .. VALUES, UPDATE, DELETE, CREATE TABLE,
+    CREATE [UNIQUE] INDEX, DROP TABLE. *)
+
+exception Parse_error of string
+
+val parse : string -> Sql_ast.stmt
+(** Parse a single statement (a trailing [;] is allowed). *)
+
+val parse_expr : string -> Sql_ast.sexpr
+(** Parse a standalone scalar expression (used by tests). *)

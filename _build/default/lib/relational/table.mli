@@ -1,0 +1,83 @@
+(** Heap tables with secondary B+-tree indexes.
+
+    Rows live in a growable slot array; a row id is the slot number and stays
+    valid until the row is deleted. Indexes are maintained synchronously on
+    every insert/delete/update. Non-unique indexes get the row id appended to
+    the key so that B+-tree keys stay unique. *)
+
+type t
+
+type index = {
+  idx_name : string;
+  key_cols : int array;  (** column positions forming the key, in order *)
+  unique : bool;
+  tree : Btree.t;
+}
+
+exception Constraint_violation of string
+(** Unique-index violation or schema (type / NOT NULL) violation. *)
+
+val create : string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+
+val create_index : t -> name:string -> cols:int array -> unique:bool -> index
+(** Builds the index over existing rows and registers it for maintenance.
+    @raise Constraint_violation if [unique] and duplicates exist. *)
+
+val indexes : t -> index list
+val find_index : t -> string -> index option
+
+val insert : t -> Tuple.t -> int
+(** Returns the new row id. @raise Constraint_violation on schema or unique
+    violations. *)
+
+val delete : t -> int -> unit
+(** Delete by row id; no-op if already deleted. *)
+
+val update : t -> int -> Tuple.t -> unit
+(** Replace the row, maintaining all indexes. *)
+
+val get : t -> int -> Tuple.t option
+(** [None] if the slot was deleted. *)
+
+val row_count : t -> int
+(** Live rows. *)
+
+val scan : t -> (int * Tuple.t) Seq.t
+(** All live rows with their ids, in slot order (not a meaningful order —
+    relations are unordered; ordered access goes through an index). *)
+
+val index_key : index -> rowid:int -> Tuple.t -> Tuple.t
+(** The B+-tree key this index stores for the given row. *)
+
+val truncate : t -> unit
+(** Remove all rows (indexes emptied too). Row ids are not reused afterwards. *)
+
+(** {2 Undo journal} (transaction support; driven by {!Db})
+
+    While a journal is active every row mutation records its inverse;
+    {!rollback_journal} replays the inverses newest-first, restoring the
+    exact pre-journal state (including index contents and row ids). *)
+
+val begin_journal : t -> unit
+(** @raise Invalid_argument if a journal is already active. *)
+
+val journal_active : t -> bool
+
+val commit_journal : t -> unit
+(** Discard the recorded inverses, keeping all changes. *)
+
+val rollback_journal : t -> unit
+(** Undo every change since {!begin_journal}. *)
+
+(** {2 Instrumentation}
+
+    The experiments report logical I/O per operation; every row read through
+    a scan or index probe and every row written is counted here. *)
+
+val rows_read : t -> int
+val rows_written : t -> int
+val reset_counters : t -> unit
+val size_bytes : t -> int
+(** Total payload bytes of live rows (heap only, excluding indexes). *)

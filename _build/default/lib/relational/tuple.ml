@@ -1,0 +1,25 @@
+type t = Value.t array
+
+let key cols tuple = Array.map (fun i -> tuple.(i)) cols
+
+let compare_key a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i >= n then Stdlib.compare la lb
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare_key a b = 0
+
+let hash_key t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let concat = Array.append
+
+let to_string t =
+  String.concat "|" (Array.to_list (Array.map Value.to_string t))
+
+let size_bytes t = Array.fold_left (fun acc v -> acc + Value.size_bytes v) 8 t

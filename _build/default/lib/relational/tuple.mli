@@ -1,0 +1,22 @@
+(** Tuples are flat arrays of values; helpers for keys and ordering. *)
+
+type t = Value.t array
+
+val key : int array -> t -> t
+(** Project the given column positions into a key. *)
+
+val compare_key : t -> t -> int
+(** Lexicographic comparison of two keys (or whole tuples). A shorter key
+    that is a prefix of a longer one compares smaller, which is what B+-tree
+    prefix scans rely on. *)
+
+val equal : t -> t -> bool
+
+val hash_key : t -> int
+
+val concat : t -> t -> t
+
+val to_string : t -> string
+(** Pipe-separated rendering used by tests and the experiment harness. *)
+
+val size_bytes : t -> int

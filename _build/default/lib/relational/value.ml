@@ -1,0 +1,96 @@
+type ty = Tint | Tfloat | Ttext | Tbytes
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bytes of string
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Ttext
+  | Bytes _ -> Some Tbytes
+
+let ty_name = function
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Ttext -> "TEXT"
+  | Tbytes -> "BYTES"
+
+let ty_of_name s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" -> Some Tint
+  | "FLOAT" | "REAL" | "DOUBLE" -> Some Tfloat
+  | "TEXT" | "VARCHAR" | "STRING" | "CHAR" -> Some Ttext
+  | "BYTES" | "BLOB" | "VARBINARY" -> Some Tbytes
+  | _ -> None
+
+let rank = function
+  | Null -> 0
+  | Int _ | Float _ -> 1
+  | Str _ -> 2
+  | Bytes _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bytes x, Bytes y -> String.compare x y
+  | a, b -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash (float_of_int x)
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bytes s -> Hashtbl.hash ("B" ^ s)
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bytes _ -> false
+
+let hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bytes s -> "0x" ^ hex s
+
+let to_sql_literal = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+      let s = Printf.sprintf "%.17g" f in
+      (* keep it lexically a float so it parses back as one *)
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+      else s ^ ".0"
+  | Str s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+  | Bytes s -> "X'" ^ hex s ^ "'"
+
+let size_bytes = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s | Bytes s -> 4 + String.length s
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Generator Hashtbl List Option Printf Rng String Types

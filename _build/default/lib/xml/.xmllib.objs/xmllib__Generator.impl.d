@@ -1,0 +1,1 @@
+lib/xml/generator.ml: Buffer List Printf Rng Types

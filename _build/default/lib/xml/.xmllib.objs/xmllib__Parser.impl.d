@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Hashtbl Lexer List Printf String Types

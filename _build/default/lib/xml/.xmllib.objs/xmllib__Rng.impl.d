@@ -1,0 +1,1 @@
+lib/xml/rng.ml: Array Int64

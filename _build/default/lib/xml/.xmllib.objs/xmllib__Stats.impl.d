@@ -1,0 +1,1 @@
+lib/xml/stats.ml: Format Hashtbl List Printer String Types

@@ -1,0 +1,1 @@
+lib/xml/stats.mli: Format Types

@@ -1,0 +1,474 @@
+type particle =
+  | P_name of string
+  | P_seq of particle list
+  | P_choice of particle list
+  | P_opt of particle
+  | P_star of particle
+  | P_plus of particle
+
+type content = C_empty | C_any | C_mixed of string list | C_model of particle
+
+type attr_default = A_required | A_implied | A_default of string
+
+type t = {
+  elements : (string, content) Hashtbl.t;
+  attlists : (string, (string * attr_default) list) Hashtbl.t;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type st = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | Some '<'
+    when st.pos + 3 < String.length st.src
+         && String.sub st.src st.pos 4 = "<!--" -> begin
+      (* comment *)
+      match
+        let rec find i =
+          if i + 3 > String.length st.src then None
+          else if String.sub st.src i 3 = "-->" then Some i
+          else find (i + 1)
+        in
+        find (st.pos + 4)
+      with
+      | Some i ->
+          st.pos <- i + 3;
+          skip_ws st
+      | None -> fail "unterminated comment"
+    end
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> fail "expected %c at offset %d" c st.pos
+
+let looking_at st s =
+  st.pos + String.length s <= String.length st.src
+  && String.sub st.src st.pos (String.length s) = s
+
+let eat st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail "expected %s at offset %d" s st.pos
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+let read_name st =
+  let start = st.pos in
+  while
+    st.pos < String.length st.src && is_name_char st.src.[st.pos]
+  do
+    advance st
+  done;
+  if st.pos = start then fail "expected a name at offset %d" st.pos;
+  String.sub st.src start (st.pos - start)
+
+let read_occurrence st p =
+  match peek st with
+  | Some '?' ->
+      advance st;
+      P_opt p
+  | Some '*' ->
+      advance st;
+      P_star p
+  | Some '+' ->
+      advance st;
+      P_plus p
+  | _ -> p
+
+(* particle grammar inside parentheses; '(' already consumed *)
+let rec parse_group st =
+  skip_ws st;
+  let first = parse_term st in
+  skip_ws st;
+  match peek st with
+  | Some ',' ->
+      let rec go acc =
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            skip_ws st;
+            go (parse_term st :: acc)
+        | Some ')' ->
+            advance st;
+            P_seq (List.rev acc)
+        | _ -> fail "expected , or ) in content model"
+      in
+      go [ first ]
+  | Some '|' ->
+      let rec go acc =
+        skip_ws st;
+        match peek st with
+        | Some '|' ->
+            advance st;
+            skip_ws st;
+            go (parse_term st :: acc)
+        | Some ')' ->
+            advance st;
+            P_choice (List.rev acc)
+        | _ -> fail "expected | or ) in content model"
+      in
+      go [ first ]
+  | Some ')' ->
+      advance st;
+      first
+  | _ -> fail "malformed content model"
+
+and parse_term st =
+  skip_ws st;
+  match peek st with
+  | Some '(' ->
+      advance st;
+      read_occurrence st (parse_group st)
+  | _ -> read_occurrence st (P_name (read_name st))
+
+let parse_content st =
+  skip_ws st;
+  if looking_at st "EMPTY" then begin
+    eat st "EMPTY";
+    C_empty
+  end
+  else if looking_at st "ANY" then begin
+    eat st "ANY";
+    C_any
+  end
+  else begin
+    expect st '(';
+    skip_ws st;
+    if looking_at st "#PCDATA" then begin
+      eat st "#PCDATA";
+      let rec names acc =
+        skip_ws st;
+        match peek st with
+        | Some '|' ->
+            advance st;
+            skip_ws st;
+            names (read_name st :: acc)
+        | Some ')' ->
+            advance st;
+            List.rev acc
+        | _ -> fail "malformed mixed-content model"
+      in
+      let ns = names [] in
+      (* (#PCDATA) may omit the trailing *; (#PCDATA|a)* requires it *)
+      (match peek st with
+      | Some '*' -> advance st
+      | _ -> if ns <> [] then fail "mixed content with names requires a trailing *");
+      C_mixed ns
+    end
+    else C_model (read_occurrence st (parse_group st))
+  end
+
+let parse_attdef st =
+  let attr = read_name st in
+  skip_ws st;
+  (* attribute type: a name (CDATA, ID, ...) or an enumeration *)
+  (match peek st with
+  | Some '(' ->
+      advance st;
+      let rec skip_enum () =
+        skip_ws st;
+        ignore (read_name st);
+        skip_ws st;
+        match peek st with
+        | Some '|' ->
+            advance st;
+            skip_enum ()
+        | Some ')' -> advance st
+        | _ -> fail "malformed attribute enumeration"
+      in
+      skip_enum ()
+  | _ -> ignore (read_name st));
+  skip_ws st;
+  let default =
+    if looking_at st "#REQUIRED" then begin
+      eat st "#REQUIRED";
+      A_required
+    end
+    else if looking_at st "#IMPLIED" then begin
+      eat st "#IMPLIED";
+      A_implied
+    end
+    else begin
+      if looking_at st "#FIXED" then begin
+        eat st "#FIXED";
+        skip_ws st
+      end;
+      match peek st with
+      | Some ('"' as q) | Some ('\'' as q) ->
+          advance st;
+          let start = st.pos in
+          while st.pos < String.length st.src && st.src.[st.pos] <> q do
+            advance st
+          done;
+          if st.pos >= String.length st.src then fail "unterminated default value";
+          let v = String.sub st.src start (st.pos - start) in
+          advance st;
+          A_default v
+      | _ -> fail "expected an attribute default at offset %d" st.pos
+    end
+  in
+  (attr, default)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let t = { elements = Hashtbl.create 16; attlists = Hashtbl.create 16 } in
+  let rec go () =
+    skip_ws st;
+    match peek st with
+    | None -> ()
+    | Some '<' ->
+        if looking_at st "<!ELEMENT" then begin
+          eat st "<!ELEMENT";
+          skip_ws st;
+          let name = read_name st in
+          if Hashtbl.mem t.elements name then
+            fail "duplicate declaration of element %s" name;
+          let content = parse_content st in
+          skip_ws st;
+          expect st '>';
+          Hashtbl.replace t.elements name content;
+          go ()
+        end
+        else if looking_at st "<!ATTLIST" then begin
+          eat st "<!ATTLIST";
+          skip_ws st;
+          let name = read_name st in
+          let rec defs acc =
+            skip_ws st;
+            match peek st with
+            | Some '>' ->
+                advance st;
+                List.rev acc
+            | _ -> defs (parse_attdef st :: acc)
+          in
+          let ds = defs [] in
+          let existing =
+            Option.value (Hashtbl.find_opt t.attlists name) ~default:[]
+          in
+          Hashtbl.replace t.attlists name (existing @ ds);
+          go ()
+        end
+        else fail "expected <!ELEMENT or <!ATTLIST at offset %d" st.pos
+    | Some c -> fail "unexpected character %C at offset %d" c st.pos
+  in
+  go ();
+  if Hashtbl.length t.elements = 0 then fail "no element declarations";
+  t
+
+let element_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.elements []
+let content_of t name = Hashtbl.find_opt t.elements name
+let attributes_of t name =
+  Option.value (Hashtbl.find_opt t.attlists name) ~default:[]
+
+(* ------------------------------------------------------------------ *)
+(* Validation (Brzozowski derivatives over the particle algebra)       *)
+(* ------------------------------------------------------------------ *)
+
+let fail_p = P_choice []
+let eps = P_seq []
+
+let rec nullable = function
+  | P_name _ -> false
+  | P_seq l -> List.for_all nullable l
+  | P_choice l -> List.exists nullable l
+  | P_opt _ | P_star _ -> true
+  | P_plus p -> nullable p
+
+let rec simp p =
+  match p with
+  | P_name _ -> p
+  | P_seq l ->
+      let l = List.map simp l in
+      if List.mem fail_p l then fail_p
+      else begin
+        match List.filter (fun x -> x <> eps) l with
+        | [] -> eps
+        | [ x ] -> x
+        | l -> P_seq l
+      end
+  | P_choice l -> begin
+      match List.filter (fun x -> x <> fail_p) (List.map simp l) with
+      | [] -> fail_p
+      | [ x ] -> x
+      | l -> P_choice l
+    end
+  | P_opt x -> ( match simp x with x when x = fail_p -> eps | x -> P_opt x)
+  | P_star x -> ( match simp x with x when x = fail_p -> eps | x -> P_star x)
+  | P_plus x -> ( match simp x with x when x = fail_p -> fail_p | x -> P_plus x)
+
+let rec deriv p tag =
+  match p with
+  | P_name n -> if n = tag then eps else fail_p
+  | P_choice l -> simp (P_choice (List.map (fun x -> deriv x tag) l))
+  | P_seq [] -> fail_p
+  | P_seq (x :: rest) ->
+      let with_head = simp (P_seq (deriv x tag :: rest)) in
+      if nullable x then simp (P_choice [ with_head; deriv (P_seq rest) tag ])
+      else with_head
+  | P_opt x -> deriv x tag
+  | P_star x -> simp (P_seq [ deriv x tag; P_star x ])
+  | P_plus x -> simp (P_seq [ deriv x tag; P_star x ])
+
+let matches particle tags =
+  let final = List.fold_left (fun p tag -> deriv p tag) particle tags in
+  nullable final
+
+let validate t (doc : Types.document) =
+  let errors = ref [] in
+  let seen = Hashtbl.create 8 in
+  let report kind fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if not (Hashtbl.mem seen (kind, msg)) then begin
+          Hashtbl.add seen (kind, msg) ();
+          errors := msg :: !errors
+        end)
+      fmt
+  in
+  let rec walk (e : Types.element) =
+    (match content_of t e.Types.tag with
+    | None -> report "decl" "element %s is not declared" e.Types.tag
+    | Some content -> begin
+        let child_tags =
+          List.filter_map Types.tag_of e.Types.children
+        in
+        let has_text =
+          List.exists
+            (function Types.Text _ -> true | _ -> false)
+            e.Types.children
+        in
+        match content with
+        | C_empty ->
+            if e.Types.children <> [] then
+              report "empty" "element %s must be empty" e.Types.tag
+        | C_any -> ()
+        | C_mixed names ->
+            List.iter
+              (fun tag ->
+                if not (List.mem tag names) then
+                  report "mixed" "element %s does not allow child %s"
+                    e.Types.tag tag)
+              child_tags
+        | C_model particle ->
+            if has_text then
+              report "pcdata" "element %s does not allow text content" e.Types.tag;
+            if not (matches particle child_tags) then
+              report "model" "children of %s (%s) do not match its model"
+                e.Types.tag
+                (String.concat "," child_tags)
+      end);
+    (* attributes *)
+    let declared = attributes_of t e.Types.tag in
+    List.iter
+      (fun (a : Types.attribute) ->
+        if not (List.mem_assoc a.Types.attr_name declared) then
+          report "attr" "element %s has undeclared attribute %s" e.Types.tag
+            a.Types.attr_name)
+      e.Types.attrs;
+    List.iter
+      (fun (name, d) ->
+        if d = A_required && not
+             (List.exists (fun (a : Types.attribute) -> a.Types.attr_name = name) e.Types.attrs)
+        then
+          report "required" "element %s is missing required attribute %s"
+            e.Types.tag name)
+      declared;
+    List.iter
+      (fun c -> match c with Types.Element e -> walk e | _ -> ())
+      e.Types.children
+  in
+  walk doc.Types.root;
+  match !errors with [] -> Ok () | msgs -> Error (List.rev msgs)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* rough expansion weight: how many element names a minimal expansion of the
+   particle forces; used to steer away from recursion at depth *)
+let rec weight = function
+  | P_name _ -> 1
+  | P_seq l -> List.fold_left (fun acc p -> acc + weight p) 0 l
+  | P_choice l -> List.fold_left (fun acc p -> min acc (weight p)) max_int l
+  | P_opt _ | P_star _ -> 0
+  | P_plus p -> weight p
+
+let sample t ~root rng =
+  if content_of t root = None then
+    invalid_arg (Printf.sprintf "Dtd.sample: element %s is not declared" root);
+  let max_depth = 12 in
+  let rec gen_particle depth p =
+    match p with
+    | P_name n -> [ gen_elem depth n ]
+    | P_seq l -> List.concat_map (gen_particle depth) l
+    | P_choice l ->
+        let l = if l = [] then [ eps ] else l in
+        let pick =
+          if depth >= max_depth then
+            List.fold_left
+              (fun best c -> if weight c < weight best then c else best)
+              (List.hd l) l
+          else List.nth l (Rng.int rng (List.length l))
+        in
+        gen_particle depth pick
+    | P_opt x ->
+        if depth < max_depth && Rng.bool rng then gen_particle depth x else []
+    | P_star x ->
+        if depth >= max_depth then []
+        else
+          List.concat
+            (List.init (Rng.int rng 3) (fun _ -> gen_particle depth x))
+    | P_plus x ->
+        let reps = if depth >= max_depth then 1 else 1 + Rng.int rng 2 in
+        List.concat (List.init reps (fun _ -> gen_particle depth x))
+  and gen_elem depth name =
+    let attrs =
+      List.filter_map
+        (fun (a, d) ->
+          match d with
+          | A_required -> Some (Types.attr a (Generator.words ~seed:(Rng.int rng 1000) 1))
+          | A_implied ->
+              if Rng.bool rng then
+                Some (Types.attr a (Generator.words ~seed:(Rng.int rng 1000) 1))
+              else None
+          | A_default v -> if Rng.bool rng then Some (Types.attr a v) else None)
+        (attributes_of t name)
+    in
+    let children =
+      match content_of t name with
+      | None | Some C_empty -> []
+      | Some C_any -> if Rng.bool rng then [ Types.text (Generator.words ~seed:(Rng.int rng 1000) 2) ] else []
+      | Some (C_mixed names) ->
+          List.concat
+            (List.init (Rng.int rng 3) (fun _ ->
+                 if names <> [] && Rng.bool rng && depth < max_depth then
+                   [ gen_elem (depth + 1) (List.nth names (Rng.int rng (List.length names))) ]
+                 else [ Types.text (Generator.words ~seed:(Rng.int rng 1000) 2) ]))
+      | Some (C_model p) -> gen_particle (depth + 1) p
+    in
+    Types.element ~attrs name children
+  in
+  match Types.normalize (gen_elem 0 root) with
+  | Types.Element e -> { Types.decl = false; root = e }
+  | _ -> assert false

@@ -1,0 +1,61 @@
+(** DTD-lite: parse, validate against, and sample from Document Type
+    Definitions.
+
+    The XML-shredding systems of the paper's era were schema-driven — DTDs
+    decided inlining and table layout — so a relational XML store needs at
+    least enough DTD support to validate what it loads. The subset:
+
+    {v
+    <!ELEMENT name EMPTY>
+    <!ELEMENT name ANY>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT name (#PCDATA | a | b)*>          (mixed content)
+    <!ELEMENT name (a, (b | c)*, d?, e+)>       (content models)
+    <!ATTLIST name attr CDATA #REQUIRED
+                   other CDATA #IMPLIED
+                   kind  CDATA "default">
+    v}
+
+    Validation matches element content against the models with Brzozowski
+    derivatives (no backtracking blow-ups), checks required attributes, and
+    flags undeclared elements and attributes. *)
+
+type particle =
+  | P_name of string
+  | P_seq of particle list
+  | P_choice of particle list
+  | P_opt of particle  (** [?] *)
+  | P_star of particle  (** [*] *)
+  | P_plus of particle  (** [+] *)
+
+type content =
+  | C_empty
+  | C_any
+  | C_mixed of string list  (** (#PCDATA | a | ...)* ; [[]] = (#PCDATA) *)
+  | C_model of particle
+
+type attr_default = A_required | A_implied | A_default of string
+
+type t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a sequence of [<!ELEMENT>] / [<!ATTLIST>] declarations (comments
+    and whitespace allowed). @raise Parse_error on malformed input or
+    duplicate element declarations. *)
+
+val element_names : t -> string list
+val content_of : t -> string -> content option
+val attributes_of : t -> string -> (string * attr_default) list
+
+val validate : t -> Types.document -> (unit, string list) result
+(** Structural validation (one message per violation, with the element
+    name). Elements not declared in the DTD are violations, as are
+    undeclared or missing-required attributes. *)
+
+val sample : t -> root:string -> Rng.t -> Types.document
+(** Generate a random document valid under the DTD, rooted at [root]
+    (unbounded models are cut off at a small random repetition count;
+    recursive models are depth-limited by preferring non-recursive
+    choices). @raise Invalid_argument if [root] is not declared. *)

@@ -1,0 +1,267 @@
+let word_pool =
+  [|
+    "auction"; "bid"; "seller"; "gold"; "silver"; "market"; "price"; "rare";
+    "vintage"; "classic"; "mint"; "boxed"; "shipping"; "reserve"; "lot";
+    "antique"; "modern"; "signed"; "edition"; "limited"; "original"; "quality";
+    "condition"; "offer"; "deal"; "trade"; "value"; "estimate"; "catalog";
+    "collector"; "history"; "provenance"; "certified"; "appraised"; "european";
+    "asian"; "african"; "american"; "australian"; "item"; "listing";
+  |]
+
+let words_rng rng n =
+  let buf = Buffer.create (n * 8) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Rng.pick rng word_pool)
+  done;
+  Buffer.contents buf
+
+let words ?(seed = 17) n = words_rng (Rng.create seed) n
+
+let el ?attrs tag children = Types.element ?attrs tag children
+let txt s = Types.text s
+let leaf tag s = el tag [ txt s ]
+let attr = Types.attr
+
+let person_ref rng n_people = Printf.sprintf "person%d" (Rng.int rng n_people)
+
+let make_person rng i =
+  let name = Printf.sprintf "%s %s" (Rng.pick rng word_pool) (Rng.pick rng word_pool) in
+  let optional =
+    List.concat
+      [
+        (if Rng.bool rng then
+           [ leaf "phone" (Printf.sprintf "+%d (%d) %d" (Rng.int_in rng 1 99)
+                (Rng.int_in rng 100 999) (Rng.int_in rng 1000000 9999999)) ]
+         else []);
+        (if Rng.bool rng then
+           [
+             el "address"
+               [
+                 leaf "street" (Printf.sprintf "%d %s St" (Rng.int_in rng 1 99) (Rng.pick rng word_pool));
+                 leaf "city" (Rng.pick rng word_pool);
+                 leaf "country" (Rng.pick rng word_pool);
+               ];
+           ]
+         else []);
+        (if Rng.bool rng then
+           [
+             el "profile"
+               ~attrs:[ attr "income" (string_of_int (Rng.int_in rng 9000 120000)) ]
+               [
+                 leaf "education" (Rng.pick rng [| "High School"; "College"; "Graduate School"; "Other" |]);
+                 leaf "interest" (words_rng rng 3);
+               ];
+           ]
+         else []);
+      ]
+  in
+  el "person"
+    ~attrs:[ attr "id" (Printf.sprintf "person%d" i) ]
+    (leaf "name" name
+    :: leaf "emailaddress" (Printf.sprintf "mailto:%s@%s.example" (Rng.pick rng word_pool) (Rng.pick rng word_pool))
+    :: optional)
+
+let make_item rng i region =
+  el "item"
+    ~attrs:[ attr "id" (Printf.sprintf "item%d" i) ]
+    [
+      leaf "location" region;
+      leaf "quantity" (string_of_int (Rng.int_in rng 1 10));
+      leaf "name" (words_rng rng 2);
+      el "payment" [ txt (Rng.pick rng [| "Cash"; "Creditcard"; "Money order" |]) ];
+      el "description" [ el "text" [ txt (words_rng rng (Rng.int_in rng 5 30)) ] ];
+      leaf "shipping" (Rng.pick rng [| "Will ship internationally"; "Buyer pays fixed shipping charges" |]);
+    ]
+
+let make_bidder rng ~n_people ~seq =
+  el "bidder"
+    [
+      leaf "date" (Printf.sprintf "%02d/%02d/2001" (Rng.int_in rng 1 12) (Rng.int_in rng 1 28));
+      leaf "time" (Printf.sprintf "%02d:%02d:%02d" (Rng.int rng 24) (Rng.int rng 60) (Rng.int rng 60));
+      el "personref" ~attrs:[ attr "person" (person_ref rng n_people) ] [];
+      leaf "increase" (Printf.sprintf "%d.%02d" (Rng.int_in rng 1 50 * (1 + (seq / 4))) (Rng.int rng 100));
+    ]
+
+let make_open_auction rng i ~n_people ~n_items =
+  let n_bidders = Rng.int_in rng 1 10 in
+  let bidders = List.init n_bidders (fun seq -> make_bidder rng ~n_people ~seq) in
+  el "open_auction"
+    ~attrs:[ attr "id" (Printf.sprintf "open_auction%d" i) ]
+    (List.concat
+       [
+         [
+           leaf "initial" (Printf.sprintf "%d.%02d" (Rng.int_in rng 1 200) (Rng.int rng 100));
+           leaf "reserve" (Printf.sprintf "%d.%02d" (Rng.int_in rng 10 400) (Rng.int rng 100));
+         ];
+         bidders;
+         [
+           leaf "current" (Printf.sprintf "%d.%02d" (Rng.int_in rng 10 999) (Rng.int rng 100));
+           el "itemref" ~attrs:[ attr "item" (Printf.sprintf "item%d" (Rng.int rng n_items)) ] [];
+           el "seller" ~attrs:[ attr "person" (person_ref rng n_people) ] [];
+           el "annotation"
+             [
+               el "author" ~attrs:[ attr "person" (person_ref rng n_people) ] [];
+               el "description" [ el "text" [ txt (words_rng rng (Rng.int_in rng 4 20)) ] ];
+             ];
+           leaf "quantity" (string_of_int (Rng.int_in rng 1 5));
+           leaf "type" (Rng.pick rng [| "Regular"; "Featured"; "Dutch" |]);
+           el "interval" [];
+         ];
+       ])
+
+let make_closed_auction rng ~n_people ~n_items =
+  el "closed_auction"
+    [
+      el "seller" ~attrs:[ attr "person" (person_ref rng n_people) ] [];
+      el "buyer" ~attrs:[ attr "person" (person_ref rng n_people) ] [];
+      el "itemref" ~attrs:[ attr "item" (Printf.sprintf "item%d" (Rng.int rng n_items)) ] [];
+      leaf "price" (Printf.sprintf "%d.%02d" (Rng.int_in rng 5 999) (Rng.int rng 100));
+      leaf "date" (Printf.sprintf "%02d/%02d/2001" (Rng.int_in rng 1 12) (Rng.int_in rng 1 28));
+      leaf "quantity" (string_of_int (Rng.int_in rng 1 5));
+      leaf "type" (Rng.pick rng [| "Regular"; "Featured"; "Dutch" |]);
+    ]
+
+let make_category rng i =
+  el "category"
+    ~attrs:[ attr "id" (Printf.sprintf "category%d" i) ]
+    [
+      leaf "name" (words_rng rng 1);
+      el "description" [ el "text" [ txt (words_rng rng (Rng.int_in rng 3 12)) ] ];
+    ]
+
+let xmark ?(seed = 42) ~scale () =
+  if scale <= 0 then invalid_arg "Generator.xmark: scale must be positive";
+  let rng = Rng.create (seed * 1_000_003) in
+  let n_people = 25 * scale
+  and n_open = 12 * scale
+  and n_closed = 6 * scale
+  and n_categories = 10 * scale
+  and n_items_per_region = 10 * scale in
+  let regions = [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ] in
+  let n_items = n_items_per_region * List.length regions in
+  let item_counter = ref 0 in
+  let region_el name =
+    el name
+      (List.init n_items_per_region (fun _ ->
+           let i = !item_counter in
+           incr item_counter;
+           make_item rng i name))
+  in
+  let root =
+    el "site"
+      [
+        el "regions" (List.map region_el regions);
+        el "categories" (List.init n_categories (make_category rng));
+        el "people" (List.init n_people (make_person rng));
+        el "open_auctions"
+          (List.init n_open (fun i -> make_open_auction rng i ~n_people ~n_items));
+        el "closed_auctions"
+          (List.init n_closed (fun _ -> make_closed_auction rng ~n_people ~n_items));
+      ]
+  in
+  match root with
+  | Types.Element e -> { Types.decl = false; root = e }
+  | Types.Text _ | Types.Comment _ | Types.Pi _ -> assert false
+
+let default_tags = [| "a"; "b"; "c"; "d"; "e"; "item"; "list"; "entry" |]
+
+let random_tree ?(seed = 7) ?(tags = default_tags) ~max_depth ~max_fanout () =
+  if max_depth < 1 then invalid_arg "Generator.random_tree: max_depth >= 1";
+  let rng = Rng.create (seed * 7_368_787) in
+  let rec make_node depth =
+    let can_recurse = depth < max_depth in
+    match Rng.int rng 10 with
+    | 0 ->
+        (* half the text nodes carry numbers so value predicates bite *)
+        if Rng.bool rng then txt (words_rng rng (Rng.int_in rng 1 4))
+        else
+          txt
+            (Printf.sprintf "%d%s" (Rng.int rng 100)
+               (if Rng.bool rng then "" else Printf.sprintf ".%d" (Rng.int rng 10)))
+    | 1 -> Types.Comment (words_rng rng 2)
+    | 2 when Rng.bool rng -> Types.Pi { target = "proc"; data = words_rng rng 1 }
+    | _ ->
+        let fanout = if can_recurse then Rng.int rng (max_fanout + 1) else 0 in
+        let attrs =
+          List.init (Rng.int rng 3) (fun i ->
+              attr
+                (Printf.sprintf "k%d" i)
+                (if Rng.bool rng then Rng.pick rng word_pool
+                 else string_of_int (Rng.int rng 50)))
+        in
+        el (Rng.pick rng tags) ~attrs (List.init fanout (fun _ -> make_node (depth + 1)))
+  in
+  let fanout = 1 + Rng.int rng max_fanout in
+  let root = el "root" (List.init fanout (fun _ -> make_node 2)) in
+  Types.normalize root |> Types.doc_of_node
+
+let deep ?(payload = 1) ~depth ~branch () =
+  if depth < 1 then invalid_arg "Generator.deep: depth >= 1";
+  let rec level d =
+    let leaves =
+      List.init payload (fun i -> leaf "w" (Printf.sprintf "%d-%d" d i))
+    in
+    if d >= depth then el "np" ~attrs:[ attr "lvl" (string_of_int d) ] leaves
+    else
+      el "vp"
+        ~attrs:[ attr "lvl" (string_of_int d) ]
+        (leaves
+        @ List.init (max 0 (branch - 1)) (fun i ->
+              el "nn" [ txt (Printf.sprintf "b%d" i) ])
+        @ [ level (d + 1) ])
+  in
+  Types.doc_of_node (el "s" [ level 1 ])
+
+let flat ?(payload_children = 2) ~tag ~count () =
+  let child i =
+    el tag
+      ~attrs:[ attr "rank" (string_of_int i) ]
+      (List.init payload_children (fun j ->
+           leaf (Printf.sprintf "f%d" j) (Printf.sprintf "%d-%d" i j)))
+  in
+  Types.doc_of_node (el "doc" (List.init count child))
+
+let xmark_dtd =
+  {|
+  <!ELEMENT site (regions, categories, people, open_auctions, closed_auctions)>
+  <!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+  <!ELEMENT africa (item*)> <!ELEMENT asia (item*)> <!ELEMENT australia (item*)>
+  <!ELEMENT europe (item*)> <!ELEMENT namerica (item*)> <!ELEMENT samerica (item*)>
+  <!ELEMENT item (location, quantity, name, payment, description, shipping)>
+  <!ATTLIST item id CDATA #REQUIRED>
+  <!ELEMENT location (#PCDATA)> <!ELEMENT quantity (#PCDATA)>
+  <!ELEMENT type (#PCDATA)>
+  <!ELEMENT name (#PCDATA)> <!ELEMENT payment (#PCDATA)>
+  <!ELEMENT description (text)> <!ELEMENT text (#PCDATA)>
+  <!ELEMENT shipping (#PCDATA)>
+  <!ELEMENT categories (category*)>
+  <!ELEMENT category (name, description)>
+  <!ATTLIST category id CDATA #REQUIRED>
+  <!ELEMENT people (person*)>
+  <!ELEMENT person (name, emailaddress, phone?, address?, profile?)>
+  <!ATTLIST person id CDATA #REQUIRED>
+  <!ELEMENT emailaddress (#PCDATA)> <!ELEMENT phone (#PCDATA)>
+  <!ELEMENT address (street, city, country)>
+  <!ELEMENT street (#PCDATA)> <!ELEMENT city (#PCDATA)> <!ELEMENT country (#PCDATA)>
+  <!ELEMENT profile (education, interest)>
+  <!ATTLIST profile income CDATA #REQUIRED>
+  <!ELEMENT education (#PCDATA)> <!ELEMENT interest (#PCDATA)>
+  <!ELEMENT open_auctions (open_auction*)>
+  <!ELEMENT open_auction (initial, reserve, bidder+, current, itemref, seller, annotation, quantity, type, interval)>
+  <!ATTLIST open_auction id CDATA #REQUIRED>
+  <!ELEMENT initial (#PCDATA)> <!ELEMENT reserve (#PCDATA)>
+  <!ELEMENT bidder (date, time, personref, increase)>
+  <!ELEMENT date (#PCDATA)> <!ELEMENT time (#PCDATA)>
+  <!ELEMENT personref EMPTY> <!ATTLIST personref person CDATA #REQUIRED>
+  <!ELEMENT increase (#PCDATA)> <!ELEMENT current (#PCDATA)>
+  <!ELEMENT itemref EMPTY> <!ATTLIST itemref item CDATA #REQUIRED>
+  <!ELEMENT seller EMPTY> <!ATTLIST seller person CDATA #REQUIRED>
+  <!ELEMENT annotation (author, description)>
+  <!ELEMENT author EMPTY> <!ATTLIST author person CDATA #REQUIRED>
+  <!ELEMENT interval EMPTY>
+  <!ELEMENT closed_auctions (closed_auction*)>
+  <!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type)>
+  <!ELEMENT buyer EMPTY> <!ATTLIST buyer person CDATA #REQUIRED>
+  <!ELEMENT price (#PCDATA)>
+  |}

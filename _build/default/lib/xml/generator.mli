@@ -1,0 +1,41 @@
+(** Synthetic XML document generators.
+
+    The paper evaluated on benchmark-style auction data; the original corpora
+    are not redistributable here, so {!xmark} generates documents following
+    the XMark auction schema (site / regions / categories / people /
+    open_auctions / closed_auctions) with the same structural profile:
+    moderate depth (~8), high fanout at container elements, mixed text and
+    attributes, and order-significant [bidder] lists. *)
+
+val xmark : ?seed:int -> scale:int -> unit -> Types.document
+(** An auction document. [scale] linearly controls entity counts
+    (scale 1 ~ 2500 nodes). Deterministic for a given [(seed, scale)]. *)
+
+val random_tree :
+  ?seed:int ->
+  ?tags:string array ->
+  max_depth:int ->
+  max_fanout:int ->
+  unit ->
+  Types.document
+(** Random document for property-based tests: random shape, random tags,
+    random attributes and text, guaranteed well-formed. *)
+
+val flat : ?payload_children:int -> tag:string -> count:int -> unit -> Types.document
+(** [<doc>] with [count] children named [tag], each carrying
+    [payload_children] small children — the shape used by the update
+    experiments (many ordered siblings). Item texts record their creation
+    rank so order violations are observable. *)
+
+val deep : ?payload:int -> depth:int -> branch:int -> unit -> Types.document
+(** Treebank-style deep recursive structure: a chain of [depth] nested
+    levels, each with [branch] children of which one recurses; [payload]
+    small leaves per level. Exercises key-length growth in path-based
+    encodings. *)
+
+val words : ?seed:int -> int -> string
+(** [words n] is a deterministic sentence of [n] lorem-style words. *)
+
+val xmark_dtd : string
+(** The DTD the {!xmark} generator conforms to (checked by the test suite);
+    parse it with {!Dtd.parse}. *)

@@ -1,0 +1,96 @@
+let escape buf ~quot s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~quot:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~quot:true s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (a : Types.attribute) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.attr_name;
+      Buffer.add_string buf "=\"";
+      escape buf ~quot:true a.attr_value;
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_node buf (n : Types.node) =
+  match n with
+  | Types.Text s -> escape buf ~quot:false s
+  | Types.Comment s ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "-->"
+  | Types.Pi { target; data } ->
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf target;
+      if data <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf data
+      end;
+      Buffer.add_string buf "?>"
+  | Types.Element e ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      add_attrs buf e.attrs;
+      if e.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (add_node buf) e.children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_char buf '>'
+      end
+
+let node_to_string n =
+  let buf = Buffer.create 256 in
+  add_node buf n;
+  Buffer.contents buf
+
+let document_to_string (d : Types.document) =
+  let buf = Buffer.create 256 in
+  if d.decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  add_node buf (Types.Element d.root);
+  Buffer.contents buf
+
+let pretty ?(indent = 2) n =
+  let buf = Buffer.create 256 in
+  let pad level = Buffer.add_string buf (String.make (level * indent) ' ') in
+  let has_text children =
+    List.exists (function Types.Text _ -> true | _ -> false) children
+  in
+  let rec go level (n : Types.node) =
+    match n with
+    | Types.Element e when e.children <> [] && not (has_text e.children) ->
+        pad level;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf e.tag;
+        add_attrs buf e.attrs;
+        Buffer.add_string buf ">\n";
+        List.iter (go (level + 1)) e.children;
+        pad level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_string buf ">\n"
+    | n ->
+        pad level;
+        add_node buf n;
+        Buffer.add_char buf '\n'
+  in
+  go 0 n;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** XML serialization. *)
+
+val escape_text : string -> string
+(** Escape [& < >] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and the double quote for double-quoted
+    attribute values. *)
+
+val node_to_string : Types.node -> string
+(** Compact serialization (no added whitespace). Empty elements are written
+    self-closed ([<a/>]). *)
+
+val document_to_string : Types.document -> string
+(** Serialize the document, emitting an XML declaration when the document
+    carries one. *)
+
+val pretty : ?indent:int -> Types.node -> string
+(** Indented rendering for humans. Text nodes inhibit indentation of their
+    siblings so mixed content round-trips visually intact. *)

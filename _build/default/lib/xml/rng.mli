@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every generator and workload takes an explicit [Rng.t] so that all
+    datasets and experiments are reproducible bit-for-bit from a seed. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

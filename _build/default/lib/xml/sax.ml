@@ -1,0 +1,72 @@
+type event =
+  | Start_element of { tag : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+exception Error of string
+
+let fail (pos : Lexer.position) msg =
+  raise (Error (Printf.sprintf "line %d, column %d: %s" pos.line pos.col msg))
+
+let is_blank s =
+  let ok = ref true in
+  String.iter
+    (fun c -> match c with ' ' | '\t' | '\r' | '\n' -> () | _ -> ok := false)
+    s;
+  !ok
+
+let fold ?(keep_ws = false) src ~init ~f =
+  let lx = Lexer.create src in
+  let acc = ref init in
+  let emit ev = acc := f !acc ev in
+  let stack = ref [] in
+  let seen_root = ref false in
+  let rec go () =
+    let pos = Lexer.position lx in
+    match Lexer.next lx with
+    | Lexer.Eof ->
+        (match !stack with
+        | [] -> if not !seen_root then fail pos "empty document"
+        | tag :: _ -> fail pos (Printf.sprintf "unclosed element <%s>" tag))
+    | Lexer.Decl_tok | Lexer.Doctype_tok ->
+        if !stack <> [] || !seen_root then fail pos "misplaced declaration";
+        go ()
+    | Lexer.Chars s ->
+        if !stack = [] then begin
+          if not (is_blank s) then fail pos "text outside the document root"
+        end
+        else if keep_ws || not (is_blank s) then emit (Text s);
+        go ()
+    | Lexer.Comment_tok s ->
+        emit (Comment s);
+        go ()
+    | Lexer.Pi_tok { target; data } ->
+        emit (Pi { target; data });
+        go ()
+    | Lexer.Start_tag { name; attrs; self_closing } ->
+        if !stack = [] && !seen_root then fail pos "content after document root";
+        seen_root := true;
+        emit (Start_element { tag = name; attrs });
+        if self_closing then emit (End_element name)
+        else stack := name :: !stack;
+        go ()
+    | Lexer.End_tag name -> (
+        match !stack with
+        | top :: rest when top = name ->
+            emit (End_element name);
+            stack := rest;
+            go ()
+        | top :: _ ->
+            fail pos
+              (Printf.sprintf "mismatched end tag: expected </%s>, got </%s>"
+                 top name)
+        | [] -> fail pos (Printf.sprintf "stray end tag </%s>" name))
+  in
+  (try go () with Lexer.Error (pos, msg) -> fail pos msg);
+  !acc
+
+let iter ?keep_ws src f = fold ?keep_ws src ~init:() ~f:(fun () ev -> f ev)
+
+let count_events src = fold src ~init:0 ~f:(fun n _ -> n + 1)

@@ -1,0 +1,76 @@
+type t = {
+  elements : int;
+  attributes : int;
+  texts : int;
+  others : int;
+  max_depth : int;
+  max_fanout : int;
+  avg_fanout : float;
+  text_bytes : int;
+  serialized_bytes : int;
+  distinct_tags : int;
+}
+
+let compute (d : Types.document) =
+  let elements = ref 0
+  and attributes = ref 0
+  and texts = ref 0
+  and others = ref 0
+  and max_fanout = ref 0
+  and nonleaf = ref 0
+  and child_sum = ref 0
+  and text_bytes = ref 0 in
+  let tags = Hashtbl.create 64 in
+  let root = Types.Element d.root in
+  Types.iter
+    (fun n ->
+      match n with
+      | Types.Element e ->
+          incr elements;
+          attributes := !attributes + List.length e.attrs;
+          Hashtbl.replace tags e.tag ();
+          let fanout = List.length e.children in
+          if fanout > 0 then begin
+            incr nonleaf;
+            child_sum := !child_sum + fanout;
+            if fanout > !max_fanout then max_fanout := fanout
+          end
+      | Types.Text s ->
+          incr texts;
+          text_bytes := !text_bytes + String.length s
+      | Types.Comment _ | Types.Pi _ -> incr others)
+    root;
+  {
+    elements = !elements;
+    attributes = !attributes;
+    texts = !texts;
+    others = !others;
+    max_depth = Types.depth root;
+    max_fanout = !max_fanout;
+    avg_fanout =
+      (if !nonleaf = 0 then 0.0
+       else float_of_int !child_sum /. float_of_int !nonleaf);
+    text_bytes = !text_bytes;
+    serialized_bytes = String.length (Printer.document_to_string d);
+    distinct_tags = Hashtbl.length tags;
+  }
+
+let tag_histogram (d : Types.document) =
+  let tags = Hashtbl.create 64 in
+  Types.iter
+    (fun n ->
+      match n with
+      | Types.Element e ->
+          Hashtbl.replace tags e.tag
+            (1 + (try Hashtbl.find tags e.tag with Not_found -> 0))
+      | Types.Text _ | Types.Comment _ | Types.Pi _ -> ())
+    (Types.Element d.root);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tags []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "elements=%d attrs=%d texts=%d others=%d depth=%d max_fanout=%d \
+     avg_fanout=%.2f text_bytes=%d serialized_bytes=%d distinct_tags=%d"
+    t.elements t.attributes t.texts t.others t.max_depth t.max_fanout
+    t.avg_fanout t.text_bytes t.serialized_bytes t.distinct_tags

@@ -1,0 +1,22 @@
+(** Structural statistics of a document — the numbers reported in dataset
+    characteristics tables (experiment E1). *)
+
+type t = {
+  elements : int;
+  attributes : int;
+  texts : int;
+  others : int;  (** comments + processing instructions *)
+  max_depth : int;
+  max_fanout : int;
+  avg_fanout : float;  (** average children per non-leaf element *)
+  text_bytes : int;
+  serialized_bytes : int;
+  distinct_tags : int;
+}
+
+val compute : Types.document -> t
+
+val tag_histogram : Types.document -> (string * int) list
+(** Tag name -> element count, sorted by decreasing count. *)
+
+val pp : Format.formatter -> t -> unit

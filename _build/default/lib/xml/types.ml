@@ -1,0 +1,109 @@
+type name = string
+
+type attribute = { attr_name : name; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { tag : name; attrs : attribute list; children : node list }
+
+type document = { decl : bool; root : element }
+
+let element ?(attrs = []) tag children = Element { tag; attrs; children }
+let text s = Text s
+let attr attr_name attr_value = { attr_name; attr_value }
+let doc root = { decl = false; root }
+
+let doc_of_node = function
+  | Element e -> { decl = false; root = e }
+  | Text _ | Comment _ | Pi _ ->
+      invalid_arg "Types.doc_of_node: root must be an element"
+
+let tag_of = function
+  | Element e -> Some e.tag
+  | Text _ | Comment _ | Pi _ -> None
+
+let children_of = function
+  | Element e -> e.children
+  | Text _ | Comment _ | Pi _ -> []
+
+let attributes_of = function
+  | Element e -> e.attrs
+  | Text _ | Comment _ | Pi _ -> []
+
+let attribute_value n name =
+  let rec find = function
+    | [] -> None
+    | a :: rest -> if a.attr_name = name then Some a.attr_value else find rest
+  in
+  find (attributes_of n)
+
+let rec text_content = function
+  | Text s -> s
+  | Comment _ | Pi _ -> ""
+  | Element e -> String.concat "" (List.map text_content e.children)
+
+let rec equal_node a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x y
+  | Comment x, Comment y -> String.equal x y
+  | Pi x, Pi y -> String.equal x.target y.target && String.equal x.data y.data
+  | Element x, Element y ->
+      String.equal x.tag y.tag && x.attrs = y.attrs
+      && List.length x.children = List.length y.children
+      && List.for_all2 equal_node x.children y.children
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+let equal_document a b = a.decl = b.decl && equal_node (Element a.root) (Element b.root)
+
+let rec normalize n =
+  match n with
+  | Text _ | Comment _ | Pi _ -> n
+  | Element e ->
+      let children = List.map normalize e.children in
+      (* merge runs of text nodes and drop empties *)
+      let rec merge = function
+        | Text a :: Text b :: rest -> merge (Text (a ^ b) :: rest)
+        | Text "" :: rest -> merge rest
+        | x :: rest -> x :: merge rest
+        | [] -> []
+      in
+      Element { e with children = merge children }
+
+let rec node_count = function
+  | Text _ | Comment _ | Pi _ -> 1
+  | Element e ->
+      1 + List.length e.attrs
+      + List.fold_left (fun acc c -> acc + node_count c) 0 e.children
+
+let rec depth = function
+  | Text _ | Comment _ | Pi _ -> 1
+  | Element e ->
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
+
+let rec fold f acc n =
+  let acc = f acc n in
+  match n with
+  | Text _ | Comment _ | Pi _ -> acc
+  | Element e -> List.fold_left (fold f) acc e.children
+
+let iter f n = fold (fun () x -> f x) () n
+
+let rec pp_node ppf = function
+  | Text s -> Format.fprintf ppf "Text %S" s
+  | Comment s -> Format.fprintf ppf "Comment %S" s
+  | Pi { target; data } -> Format.fprintf ppf "Pi(%s,%S)" target data
+  | Element e ->
+      Format.fprintf ppf "@[<hv 2>%s%a[%a]@]" e.tag
+        (fun ppf attrs ->
+          List.iter
+            (fun a -> Format.fprintf ppf "@@%s=%S" a.attr_name a.attr_value)
+            attrs)
+        e.attrs
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_node)
+        e.children

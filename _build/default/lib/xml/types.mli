@@ -1,0 +1,84 @@
+(** DOM-style data model for ordered XML.
+
+    The model keeps everything the order-encoding experiments need: elements
+    with attributes, text, comments and processing instructions, all in
+    document order. Attributes are unordered per the XML spec but are kept in
+    source order so that round-trips are byte-stable. *)
+
+type name = string
+(** Element/attribute names. Namespaces are kept as literal prefixes
+    ([ns:local]); the 2002 paper does not exercise namespace semantics. *)
+
+type attribute = { attr_name : name; attr_value : string }
+
+(** A node in document order. *)
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = {
+  tag : name;
+  attrs : attribute list;
+  children : node list;
+}
+
+type document = {
+  decl : bool;  (** whether the document carried an [<?xml ...?>] declaration *)
+  root : element;
+}
+
+val element : ?attrs:attribute list -> name -> node list -> node
+(** [element ~attrs tag children] builds an element node. *)
+
+val text : string -> node
+(** [text s] builds a text node. *)
+
+val attr : name -> string -> attribute
+
+val doc : element -> document
+(** Document with no XML declaration around [root]. *)
+
+val doc_of_node : node -> document
+(** @raise Invalid_argument if the node is not an element. *)
+
+val tag_of : node -> name option
+(** Element tag, [None] for non-elements. *)
+
+val children_of : node -> node list
+(** Children of an element, [[]] for leaves. *)
+
+val attributes_of : node -> attribute list
+
+val attribute_value : node -> name -> string option
+(** Value of the named attribute on an element node. *)
+
+val text_content : node -> string
+(** Concatenation of all descendant text, in document order. *)
+
+val equal_node : node -> node -> bool
+(** Structural equality. Adjacent text nodes are NOT merged; compare
+    normalized documents (see {!normalize}) for logical equality. *)
+
+val equal_document : document -> document -> bool
+
+val normalize : node -> node
+(** Merge adjacent text children and drop empty text nodes, recursively.
+    The parser never produces adjacent text nodes, but generated or edited
+    trees may. *)
+
+val node_count : node -> int
+(** Total number of nodes in the subtree, counting the root and attributes. *)
+
+val depth : node -> int
+(** Length of the longest root-to-leaf path; a lone leaf has depth 1. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Preorder (document-order) fold over the subtree, attributes excluded. *)
+
+val iter : (node -> unit) -> node -> unit
+(** Preorder iteration, attributes excluded. *)
+
+val pp_node : Format.formatter -> node -> unit
+(** Debug printer (compact, not XML serialization; see {!Printer}). *)

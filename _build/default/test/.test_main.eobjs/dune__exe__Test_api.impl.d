@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Filename Fun List Ordered_xml Reldb Sys Xmllib

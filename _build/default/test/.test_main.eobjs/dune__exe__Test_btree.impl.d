@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Gen Hashtbl Int List Map QCheck QCheck_alcotest Reldb Test Xmllib

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array List Ordered_xml Printf Reldb Xmllib

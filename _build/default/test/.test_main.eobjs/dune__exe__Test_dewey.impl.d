@@ -1,0 +1,1 @@
+test/test_dewey.ml: Alcotest Array List Ordered_xml Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_doc_index.ml: Alcotest Array List Ordered_xml QCheck QCheck_alcotest Xmllib

@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Astring_contains Lazy List QCheck QCheck_alcotest String Xmllib

@@ -1,0 +1,1 @@
+test/test_flwor.ml: Alcotest Hashtbl Lazy List Option Ordered_xml Printf QCheck QCheck_alcotest Reldb String Xmllib

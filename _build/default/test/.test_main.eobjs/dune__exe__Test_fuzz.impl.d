@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Ordered_xml QCheck QCheck_alcotest Reldb String Xmllib Xpath_gen

@@ -1,0 +1,1 @@
+test/test_reldb_units.ml: Alcotest Array Astring_contains List Option Reldb Seq

@@ -1,0 +1,1 @@
+test/test_shred.ml: Alcotest Array Hashtbl List Ordered_xml Printf QCheck QCheck_alcotest Reldb Seq Xmllib

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Astring_contains List Printf Reldb String

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Lazy List Ordered_xml Printf QCheck QCheck_alcotest Reldb String Xmllib Xpath_gen

@@ -1,0 +1,1 @@
+test/test_translate_sql.ml: Alcotest Lazy List Ordered_xml Printf QCheck QCheck_alcotest Reldb Xmllib Xpath_gen

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest List Ordered_xml Printf QCheck QCheck_alcotest Reldb String Xmllib

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest List Printf QCheck QCheck_alcotest String Xmllib

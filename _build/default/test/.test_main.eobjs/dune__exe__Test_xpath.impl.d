@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Lazy List Ordered_xml Xmllib

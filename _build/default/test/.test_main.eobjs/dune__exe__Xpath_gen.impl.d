@@ -1,0 +1,1 @@
+test/xpath_gen.ml: List Ordered_xml QCheck

@@ -1,0 +1,148 @@
+(* The user-facing facade (Api.Store) and database persistence. *)
+
+module O = Ordered_xml
+module T = Xmllib.Types
+module D = Reldb.Db
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let catalog_doc () =
+  Xmllib.Parser.parse_document
+    {|<catalog><book y="1999"><title>A</title><price>10.5</price></book><book y="2005"><title>B</title><price>20</price></book></catalog>|}
+
+let test_store_lifecycle () =
+  let db = D.create () in
+  let store = O.Api.Store.create db ~name:"c" O.Encoding.Dewey_enc (catalog_doc ()) in
+  check string_t "name" "c" (O.Api.Store.name store);
+  check bool_t "encoding" true (O.Api.Store.encoding store = O.Encoding.Dewey_enc);
+  (* duplicate create fails *)
+  (match O.Api.Store.create db ~name:"c" O.Encoding.Dewey_enc (catalog_doc ()) with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "duplicate store accepted");
+  (* open_existing works, wrong encoding fails *)
+  let again = O.Api.Store.open_existing db ~name:"c" O.Encoding.Dewey_enc in
+  check int_t "reopened" 2 (O.Api.Store.count again "/catalog/book");
+  (match O.Api.Store.open_existing db ~name:"c" O.Encoding.Local with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "open with wrong encoding accepted");
+  O.Api.Store.drop store;
+  match O.Api.Store.open_existing db ~name:"c" O.Encoding.Dewey_enc with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "open after drop accepted"
+
+let test_query_surfaces () =
+  let db = D.create () in
+  let store = O.Api.Store.create db ~name:"c" O.Encoding.Global (catalog_doc ()) in
+  check (Alcotest.list string_t) "values" [ "A"; "B" ]
+    (O.Api.Store.query_values store "/catalog/book/title");
+  check (Alcotest.list string_t) "attr values" [ "1999"; "2005" ]
+    (O.Api.Store.query_values store "/catalog/book/@y");
+  check int_t "count" 1 (O.Api.Store.count store "/catalog/book[price > 15]");
+  (match O.Api.Store.query_nodes store "/catalog/book[1]/title" with
+  | [ T.Element { tag = "title"; children = [ T.Text "A" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "query_nodes shape");
+  (* element string-value via query_values *)
+  check (Alcotest.list string_t) "element value" [ "A10.5" ]
+    (O.Api.Store.query_values store "/catalog/book[1]");
+  match O.Api.Store.query store "/catalog/book[" with
+  | exception O.Xpath_parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad xpath accepted"
+
+let test_multi_store_one_db () =
+  (* several documents under different names and encodings share an engine *)
+  let db = D.create () in
+  let a = O.Api.Store.create db ~name:"a" O.Encoding.Local (catalog_doc ()) in
+  let b =
+    O.Api.Store.create db ~name:"b" O.Encoding.Dewey_caret
+      (Xmllib.Generator.flat ~tag:"item" ~count:5 ())
+  in
+  check int_t "a books" 2 (O.Api.Store.count a "/catalog/book");
+  check int_t "b items" 5 (O.Api.Store.count b "/doc/item");
+  O.Api.Store.drop a;
+  check int_t "b survives" 5 (O.Api.Store.count b "/doc/item")
+
+let test_dump_restore () =
+  let db = D.create () in
+  let store =
+    O.Api.Store.create db ~name:"c" O.Encoding.Dewey_enc (catalog_doc ())
+  in
+  (* exercise values with quotes and newlines *)
+  let tid = List.hd (O.Api.Store.query_ids store "/catalog/book[1]/title/text()") in
+  ignore (O.Api.Store.set_text store ~id:tid "it's\nmulti;line");
+  let script = D.dump db in
+  let db2 = D.restore script in
+  let store2 = O.Api.Store.open_existing db2 ~name:"c" O.Encoding.Dewey_enc in
+  check bool_t "documents equal" true
+    (T.equal_document (O.Api.Store.document store) (O.Api.Store.document store2));
+  (* indexes were restored: ordered query must still work *)
+  check int_t "positional query" 1 (O.Api.Store.count store2 "/catalog/book[2]");
+  (* double roundtrip is stable *)
+  check string_t "dump stable" script (D.dump db2)
+
+let test_dump_restore_files () =
+  let db = D.create () in
+  ignore (O.Api.Store.create db ~name:"c" O.Encoding.Global (catalog_doc ()));
+  let path = Filename.temp_file "oxdump" ".sql" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      D.dump_to_file db path;
+      let db2 = D.restore_from_file path in
+      let s2 = O.Api.Store.open_existing db2 ~name:"c" O.Encoding.Global in
+      check int_t "restored rows" 2 (O.Api.Store.count s2 "/catalog/book"))
+
+let test_float_values_roundtrip () =
+  (* whole floats must stay floats across dump/restore *)
+  let db = D.create () in
+  ignore (D.exec db "CREATE TABLE f (x FLOAT)");
+  ignore (D.exec db "INSERT INTO f VALUES (42.0), (0.5)");
+  let db2 = D.restore (D.dump db) in
+  match D.query db2 "SELECT x FROM f ORDER BY x" with
+  | [ [| Reldb.Value.Float 0.5 |]; [| Reldb.Value.Float 42.0 |] ] -> ()
+  | _ -> Alcotest.fail "float roundtrip"
+
+let tests =
+  ( "api",
+    [
+      Alcotest.test_case "store lifecycle" `Quick test_store_lifecycle;
+      Alcotest.test_case "query surfaces" `Quick test_query_surfaces;
+      Alcotest.test_case "multiple stores" `Quick test_multi_store_one_db;
+      Alcotest.test_case "dump/restore" `Quick test_dump_restore;
+      Alcotest.test_case "dump/restore files" `Quick test_dump_restore_files;
+      Alcotest.test_case "float literal roundtrip" `Quick test_float_values_roundtrip;
+    ] )
+
+(* native baseline: must agree with the shredded stores *)
+let test_native_store_agrees () =
+  let doc = Xmllib.Generator.flat ~tag:"item" ~count:10 () in
+  let native = O.Native_store.create doc in
+  let db = D.create () in
+  let store = O.Api.Store.create db ~name:"n" O.Encoding.Global doc in
+  let frag = T.element "item" [ T.text "new" ] in
+  check int_t "query agrees" (O.Api.Store.count store "/doc/item")
+    (O.Native_store.count native "/doc/item");
+  (* same edits on both sides *)
+  O.Native_store.insert_subtree native ~parent:0 ~pos:4 frag;
+  let root = O.Api.Store.root_id store in
+  ignore (O.Api.Store.insert_subtree store ~parent:root ~pos:4 frag);
+  check bool_t "insert agrees" true
+    (T.equal_document (O.Native_store.document native) (O.Api.Store.document store));
+  (let victim = List.hd (O.Native_store.query native "/doc/item[6]") in
+   O.Native_store.delete_subtree native ~id:victim);
+  (let victim = List.hd (O.Api.Store.query_ids store "/doc/item[6]") in
+   ignore (O.Api.Store.delete_subtree store ~id:victim));
+  check bool_t "delete agrees" true
+    (T.equal_document (O.Native_store.document native) (O.Api.Store.document store));
+  (* nested edit: insert under a non-root element *)
+  let sub = List.hd (O.Native_store.query native "/doc/item[2]") in
+  O.Native_store.insert_subtree native ~parent:sub ~pos:1 (T.element "extra" []);
+  let sub' = List.hd (O.Api.Store.query_ids store "/doc/item[2]") in
+  ignore (O.Api.Store.insert_subtree store ~parent:sub' ~pos:1 (T.element "extra" []));
+  check bool_t "nested insert agrees" true
+    (T.equal_document (O.Native_store.document native) (O.Api.Store.document store))
+
+let tests =
+  (fst tests, snd tests @ [ Alcotest.test_case "native baseline" `Quick test_native_store_agrees ])

@@ -1,0 +1,198 @@
+(* B+-tree: unit semantics, truncated-prefix bounds, model-based qcheck. *)
+
+module B = Reldb.Btree
+module V = Reldb.Value
+
+let key1 i = [| V.Int i |]
+let key2 a b = [| V.Int a; V.Int b |]
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let entries_ids seq = List.map snd (List.of_seq seq)
+
+let test_insert_find () =
+  let t = B.create ~branching:4 () in
+  for i = 0 to 99 do
+    B.insert t (key1 ((i * 37) mod 100)) i
+  done;
+  check int_t "length" 100 (B.length t);
+  for i = 0 to 99 do
+    match B.find t (key1 ((i * 37) mod 100)) with
+    | Some v -> check int_t "payload" i v
+    | None -> Alcotest.fail "missing key"
+  done;
+  check bool_t "absent" true (B.find t (key1 1000) = None)
+
+let test_duplicate () =
+  let t = B.create () in
+  B.insert t (key1 1) 10;
+  (match B.insert t (key1 1) 11 with
+  | exception B.Duplicate_key -> ()
+  | () -> Alcotest.fail "expected Duplicate_key");
+  B.replace t (key1 1) 12;
+  check bool_t "replaced" true (B.find t (key1 1) = Some 12)
+
+let test_delete () =
+  let t = B.create ~branching:4 () in
+  for i = 0 to 49 do
+    B.insert t (key1 i) i
+  done;
+  for i = 0 to 49 do
+    if i mod 2 = 0 then check bool_t "deleted" true (B.delete t (key1 i))
+  done;
+  check bool_t "gone" true (B.find t (key1 0) = None);
+  check bool_t "remains" true (B.find t (key1 1) = Some 1);
+  check int_t "length" 25 (B.length t);
+  check bool_t "delete absent" false (B.delete t (key1 0))
+
+let test_range_basic () =
+  let t = B.create ~branching:4 () in
+  List.iter (fun i -> B.insert t (key1 i) i) [ 5; 1; 9; 3; 7 ];
+  check (Alcotest.list int_t) "all" [ 1; 3; 5; 7; 9 ]
+    (entries_ids (B.to_seq t));
+  check (Alcotest.list int_t) "incl/incl" [ 3; 5; 7 ]
+    (entries_ids (B.range t ~lo:(B.Incl (key1 3)) ~hi:(B.Incl (key1 7))));
+  check (Alcotest.list int_t) "excl/excl" [ 5 ]
+    (entries_ids (B.range t ~lo:(B.Excl (key1 3)) ~hi:(B.Excl (key1 7))));
+  check (Alcotest.list int_t) "desc" [ 7; 5; 3 ]
+    (entries_ids (B.range_desc t ~lo:(B.Incl (key1 3)) ~hi:(B.Incl (key1 7))))
+
+let test_truncated_bounds () =
+  (* composite keys (a, b): bounds on the first component only *)
+  let t = B.create ~branching:4 () in
+  List.iter
+    (fun (a, b) -> B.insert t (key2 a b) ((a * 100) + b))
+    [ (1, 1); (1, 2); (2, 1); (2, 2); (2, 3); (3, 1) ];
+  (* prefix scan a = 2 *)
+  check (Alcotest.list int_t) "prefix" [ 201; 202; 203 ]
+    (entries_ids (B.prefix t [| V.Int 2 |]));
+  (* lo = Incl [2] keeps all a >= 2 including extensions of [2] *)
+  check (Alcotest.list int_t) "trunc lo incl" [ 201; 202; 203; 301 ]
+    (entries_ids (B.range t ~lo:(B.Incl [| V.Int 2 |]) ~hi:B.Unbounded));
+  (* lo = Excl [2] skips every key whose first component is 2 *)
+  check (Alcotest.list int_t) "trunc lo excl" [ 301 ]
+    (entries_ids (B.range t ~lo:(B.Excl [| V.Int 2 |]) ~hi:B.Unbounded));
+  (* hi = Incl [2] keeps extensions of [2]; hi = Excl [2] drops them *)
+  check (Alcotest.list int_t) "trunc hi incl" [ 101; 102; 201; 202; 203 ]
+    (entries_ids (B.range t ~lo:B.Unbounded ~hi:(B.Incl [| V.Int 2 |])));
+  check (Alcotest.list int_t) "trunc hi excl" [ 101; 102 ]
+    (entries_ids (B.range t ~lo:B.Unbounded ~hi:(B.Excl [| V.Int 2 |])));
+  (* two-component range on (2, b >= 2) *)
+  check (Alcotest.list int_t) "two-comp" [ 202; 203 ]
+    (entries_ids (B.range t ~lo:(B.Incl (key2 2 2)) ~hi:(B.Incl [| V.Int 2 |])))
+
+let test_mixed_types_order () =
+  let t = B.create () in
+  B.insert t [| V.Null |] 0;
+  B.insert t [| V.Int 5 |] 1;
+  B.insert t [| V.Float 5.5 |] 2;
+  B.insert t [| V.Str "a" |] 3;
+  B.insert t [| V.Bytes "a" |] 4;
+  check (Alcotest.list int_t) "type order" [ 0; 1; 2; 3; 4 ]
+    (entries_ids (B.to_seq t))
+
+let test_invariants_after_churn () =
+  let t = B.create ~branching:4 () in
+  let rng = Xmllib.Rng.create 5 in
+  let model = Hashtbl.create 64 in
+  for step = 0 to 2000 do
+    let k = Xmllib.Rng.int rng 300 in
+    if Xmllib.Rng.bool rng then begin
+      if not (Hashtbl.mem model k) then begin
+        B.insert t (key1 k) step;
+        Hashtbl.replace model k step
+      end
+    end
+    else begin
+      let was = Hashtbl.mem model k in
+      let deleted = B.delete t (key1 k) in
+      if was <> deleted then Alcotest.fail "delete disagrees with model";
+      Hashtbl.remove model k
+    end
+  done;
+  (match B.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariants: %s" m);
+  check int_t "length vs model" (Hashtbl.length model) (B.length t)
+
+let test_stats () =
+  let t = B.create ~branching:8 () in
+  for i = 0 to 999 do
+    B.insert t (key1 i) i
+  done;
+  let s = B.stats t in
+  check int_t "entries" 1000 s.B.entries;
+  check bool_t "depth sane" true (s.B.depth >= 2 && s.B.depth <= 6);
+  check bool_t "occupancy" true (s.B.occupancy > 0.3)
+
+(* model-based property: a random operation sequence agrees with a Map *)
+let prop_model =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          map (fun k -> `Insert k) (int_bound 100);
+          map (fun k -> `Delete k) (int_bound 100);
+          map2 (fun a b -> `Range (min a b, max a b)) (int_bound 100) (int_bound 100);
+        ])
+  in
+  Test.make ~name:"btree agrees with Map model" ~count:200
+    (make Gen.(list_size (int_bound 400) op_gen))
+    (fun ops ->
+      let t = B.create ~branching:4 () in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      let ok = ref true in
+      List.iteri
+        (fun step op ->
+          match op with
+          | `Insert k ->
+              if not (M.mem k !model) then begin
+                B.insert t (key1 k) step;
+                model := M.add k step !model
+              end
+          | `Delete k ->
+              let was = M.mem k !model in
+              if B.delete t (key1 k) <> was then ok := false;
+              model := M.remove k !model
+          | `Range (lo, hi) ->
+              let got =
+                entries_ids (B.range t ~lo:(B.Incl (key1 lo)) ~hi:(B.Incl (key1 hi)))
+              in
+              let expect =
+                M.bindings !model
+                |> List.filter (fun (k, _) -> k >= lo && k <= hi)
+                |> List.map snd
+              in
+              if got <> expect then ok := false)
+        ops;
+      !ok && B.check_invariants t = Ok ())
+
+let prop_desc_is_reverse =
+  let open QCheck in
+  Test.make ~name:"range_desc reverses range" ~count:200
+    (make Gen.(list_size (int_bound 200) (int_bound 300)))
+    (fun keys ->
+      let t = B.create ~branching:4 () in
+      List.iteri (fun i k -> B.replace t (key1 k) i) keys;
+      let lo = B.Incl (key1 50) and hi = B.Incl (key1 250) in
+      List.rev (entries_ids (B.range t ~lo ~hi))
+      = entries_ids (B.range_desc t ~lo ~hi))
+
+let tests =
+  ( "btree",
+    [
+      Alcotest.test_case "insert/find" `Quick test_insert_find;
+      Alcotest.test_case "duplicates" `Quick test_duplicate;
+      Alcotest.test_case "delete" `Quick test_delete;
+      Alcotest.test_case "range basics" `Quick test_range_basic;
+      Alcotest.test_case "truncated-prefix bounds" `Quick test_truncated_bounds;
+      Alcotest.test_case "cross-type ordering" `Quick test_mixed_types_order;
+      Alcotest.test_case "invariants after churn" `Quick test_invariants_after_churn;
+      Alcotest.test_case "stats" `Quick test_stats;
+      QCheck_alcotest.to_alcotest prop_model;
+      QCheck_alcotest.to_alcotest prop_desc_is_reverse;
+    ] )

@@ -1,0 +1,134 @@
+(* Doc_index: record order, sibling numbering, sizes, string values. *)
+
+module O = Ordered_xml
+module DI = O.Doc_index
+module T = Xmllib.Types
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let doc_of s = Xmllib.Parser.parse_document s
+
+let sample =
+  doc_of
+    {|<a x="1" y="2"><b>t1</b><!--c--><b p="q">t2<d/></b></a>|}
+
+let test_record_order () =
+  let idx = DI.build sample in
+  let tags =
+    Array.to_list
+      (Array.map
+         (fun (r : DI.record) ->
+           match r.DI.kind with
+           | DI.Elem -> r.DI.tag
+           | DI.Attr -> "@" ^ r.DI.tag
+           | DI.Text_node -> "#t"
+           | DI.Comment_node -> "#c"
+           | DI.Pi_node -> "#pi")
+         (DI.records idx))
+  in
+  check (Alcotest.list string_t) "record order"
+    [ "a"; "@x"; "@y"; "b"; "#t"; "#c"; "b"; "@p"; "#t"; "d" ]
+    tags
+
+let test_ids_are_positions () =
+  let idx = DI.build sample in
+  Array.iteri
+    (fun i (r : DI.record) -> check int_t "id = position" i r.DI.id)
+    (DI.records idx)
+
+let test_sibling_positions () =
+  let idx = DI.build sample in
+  let r = DI.records idx in
+  (* attrs of a: -2, -1; children of a: 1, 2, 3 *)
+  check int_t "@x pos" (-2) r.(1).DI.pos;
+  check int_t "@y pos" (-1) r.(2).DI.pos;
+  check int_t "b1 pos" 1 r.(3).DI.pos;
+  check int_t "comment pos" 2 r.(5).DI.pos;
+  check int_t "b2 pos" 3 r.(6).DI.pos
+
+let test_sizes () =
+  let idx = DI.build sample in
+  let r = DI.records idx in
+  check int_t "root size" 9 r.(0).DI.size;
+  check int_t "b2 size" 3 r.(6).DI.size;
+  check int_t "leaf size" 0 r.(9).DI.size
+
+let test_dewey_paths () =
+  let idx = DI.build sample in
+  let r = DI.records idx in
+  check string_t "root" "1" (O.Dewey.to_string r.(0).DI.dewey);
+  check string_t "@x" "1.0.1" (O.Dewey.to_string r.(1).DI.dewey);
+  check string_t "b2" "1.3" (O.Dewey.to_string r.(6).DI.dewey);
+  check string_t "d" "1.3.2" (O.Dewey.to_string r.(9).DI.dewey)
+
+let test_navigation () =
+  let idx = DI.build sample in
+  check (Alcotest.list int_t) "children of root" [ 3; 5; 6 ] (DI.children idx 0);
+  check (Alcotest.list int_t) "attrs of root" [ 1; 2 ] (DI.attributes idx 0);
+  check (Alcotest.list int_t) "ancestors of d" [ 6; 0 ] (DI.ancestors idx 9);
+  check bool_t "descendant" true (DI.is_descendant idx ~ancestor:0 9);
+  check bool_t "not descendant" false (DI.is_descendant idx ~ancestor:3 9)
+
+let test_string_value () =
+  let idx = DI.build sample in
+  check string_t "element" "t1t2" (DI.string_value idx 0);
+  check string_t "attr" "1" (DI.string_value idx 1);
+  check string_t "text" "t2" (DI.string_value idx 8)
+
+let test_to_node_roundtrip () =
+  let idx = DI.build sample in
+  check bool_t "subtree roundtrip" true
+    (T.equal_node (DI.to_node idx 0) (T.Element sample.T.root));
+  (match DI.to_node idx 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "attribute to_node must fail")
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        Xmllib.Generator.random_tree ~seed ~max_depth:5 ~max_fanout:4 ())
+      QCheck.Gen.(int_bound 100_000)
+  in
+  QCheck.Test.make ~name:"build/to_node identity" ~count:100
+    (QCheck.make ~print:Xmllib.Printer.document_to_string gen) (fun doc ->
+      let idx = DI.build doc in
+      T.equal_node (DI.to_node idx 0) (T.Element doc.T.root))
+
+let prop_size_consistency =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        Xmllib.Generator.random_tree ~seed ~max_depth:6 ~max_fanout:5 ())
+      QCheck.Gen.(int_bound 100_000)
+  in
+  QCheck.Test.make ~name:"sizes partition the id space" ~count:100
+    (QCheck.make ~print:Xmllib.Printer.document_to_string gen) (fun doc ->
+      let idx = DI.build doc in
+      let n = DI.length idx in
+      Array.for_all
+        (fun (r : DI.record) ->
+          let last = r.DI.id + r.DI.size in
+          last < n
+          && List.for_all
+               (fun c -> c > r.DI.id && c <= last)
+               (DI.children idx r.DI.id @ DI.attributes idx r.DI.id))
+        (DI.records idx))
+
+let tests =
+  ( "doc_index",
+    [
+      Alcotest.test_case "record order" `Quick test_record_order;
+      Alcotest.test_case "ids are preorder ranks" `Quick test_ids_are_positions;
+      Alcotest.test_case "sibling positions" `Quick test_sibling_positions;
+      Alcotest.test_case "subtree sizes" `Quick test_sizes;
+      Alcotest.test_case "dewey paths" `Quick test_dewey_paths;
+      Alcotest.test_case "navigation" `Quick test_navigation;
+      Alcotest.test_case "string value" `Quick test_string_value;
+      Alcotest.test_case "to_node roundtrip" `Quick test_to_node_roundtrip;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_size_consistency;
+    ] )

@@ -1,0 +1,159 @@
+(* DTD-lite: parsing, derivative-based validation, sampling. *)
+
+module D = Xmllib.Dtd
+module T = Xmllib.Types
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let catalog_dtd =
+  {|
+  <!-- a small catalog schema -->
+  <!ELEMENT catalog (book+)>
+  <!ELEMENT book (title, author*, (price | offer)?)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT price (#PCDATA)>
+  <!ELEMENT offer EMPTY>
+  <!ATTLIST book isbn CDATA #REQUIRED
+                 year CDATA #IMPLIED
+                 lang CDATA "en">
+  |}
+
+let dtd = lazy (D.parse catalog_dtd)
+
+let doc_of s = Xmllib.Parser.parse_document s
+
+let valid s =
+  match D.validate (Lazy.force dtd) (doc_of s) with
+  | Ok () -> true
+  | Error _ -> false
+
+let errors s =
+  match D.validate (Lazy.force dtd) (doc_of s) with
+  | Ok () -> []
+  | Error msgs -> msgs
+
+let test_parse () =
+  let t = Lazy.force dtd in
+  check int_t "elements" 6 (List.length (D.element_names t));
+  (match D.content_of t "book" with
+  | Some (D.C_model _) -> ()
+  | _ -> Alcotest.fail "book model");
+  (match D.content_of t "offer" with
+  | Some D.C_empty -> ()
+  | _ -> Alcotest.fail "offer EMPTY");
+  check int_t "book attrs" 3 (List.length (D.attributes_of t "book"))
+
+let test_parse_errors () =
+  let bad s =
+    match D.parse s with
+    | exception D.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" s
+  in
+  bad "";
+  bad "<!ELEMENT a >";
+  bad "<!ELEMENT a (b,>";
+  bad "<!ELEMENT a (#PCDATA|b)>";
+  bad "<!ELEMENT a (b)> <!ELEMENT a (c)>";
+  bad "<!WRONG a (b)>"
+
+let test_validate_positive () =
+  check bool_t "minimal" true
+    (valid {|<catalog><book isbn="1"><title>t</title></book></catalog>|});
+  check bool_t "full" true
+    (valid
+       {|<catalog><book isbn="1" year="2000"><title>t</title><author>a</author><author>b</author><price>3</price></book><book isbn="2"><title>u</title><offer/></book></catalog>|})
+
+let test_validate_negative () =
+  (* order matters: title must come first *)
+  check bool_t "order violation" false
+    (valid {|<catalog><book isbn="1"><author>a</author><title>t</title></book></catalog>|});
+  (* choice is exclusive *)
+  check bool_t "both price and offer" false
+    (valid
+       {|<catalog><book isbn="1"><title>t</title><price>3</price><offer/></book></catalog>|});
+  (* + requires at least one *)
+  check bool_t "empty catalog" false (valid {|<catalog/>|});
+  (* EMPTY element with content *)
+  check bool_t "offer with text" false
+    (valid {|<catalog><book isbn="1"><title>t</title><offer>x</offer></book></catalog>|});
+  (* attribute checks *)
+  check bool_t "missing required" false
+    (valid {|<catalog><book><title>t</title></book></catalog>|});
+  check bool_t "undeclared attribute" false
+    (valid {|<catalog><book isbn="1" bogus="x"><title>t</title></book></catalog>|});
+  (* undeclared element *)
+  check bool_t "undeclared element" false
+    (valid {|<catalog><pamphlet/></catalog>|});
+  (* messages mention the culprit *)
+  check bool_t "message names element" true
+    (List.exists
+       (fun m -> Astring_contains.contains m "book")
+       (errors {|<catalog><book isbn="1"/></catalog>|}))
+
+let test_mixed_content () =
+  let t = D.parse "<!ELEMENT p (#PCDATA | em)*> <!ELEMENT em (#PCDATA)>" in
+  let ok s = D.validate t (doc_of s) = Ok () in
+  check bool_t "mixed ok" true (ok "<p>one <em>two</em> three</p>");
+  check bool_t "mixed bad child" false (ok "<p>one <strong>x</strong></p>")
+
+let test_nested_models () =
+  let t =
+    D.parse
+      "<!ELEMENT s ((a, b)+ | c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> \
+       <!ELEMENT c EMPTY>"
+  in
+  let ok s = D.validate t (doc_of s) = Ok () in
+  check bool_t "(a,b)+" true (ok "<s><a/><b/><a/><b/></s>");
+  check bool_t "c alone" true (ok "<s><c/></s>");
+  check bool_t "incomplete pair" false (ok "<s><a/><b/><a/></s>");
+  check bool_t "mixing branches" false (ok "<s><a/><b/><c/></s>")
+
+(* sampled documents always validate *)
+let prop_sample_validates =
+  QCheck.Test.make ~name:"sampled documents validate" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let t = Lazy.force dtd in
+      let doc = D.sample t ~root:"catalog" (Xmllib.Rng.create seed) in
+      D.validate t doc = Ok ())
+
+(* a recursive DTD terminates and validates *)
+let prop_recursive_sample =
+  let rec_dtd =
+    D.parse
+      "<!ELEMENT tree (leaf | node)> <!ELEMENT node (tree, tree)> \
+       <!ELEMENT leaf EMPTY>"
+  in
+  QCheck.Test.make ~name:"recursive DTD sampling terminates" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let doc = D.sample rec_dtd ~root:"tree" (Xmllib.Rng.create seed) in
+      D.validate rec_dtd doc = Ok ())
+
+(* the XMark-style generator conforms to its own DTD *)
+let xmark_dtd = Xmllib.Generator.xmark_dtd
+
+let test_xmark_conforms () =
+  let t = D.parse xmark_dtd in
+  match D.validate t (Xmllib.Generator.xmark ~seed:11 ~scale:1 ()) with
+  | Ok () -> ()
+  | Error msgs ->
+      Alcotest.failf "generator violates its DTD: %s"
+        (String.concat "; " msgs)
+
+let tests =
+  ( "dtd",
+    [
+      Alcotest.test_case "parse" `Quick test_parse;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "validate (positive)" `Quick test_validate_positive;
+      Alcotest.test_case "validate (negative)" `Quick test_validate_negative;
+      Alcotest.test_case "mixed content" `Quick test_mixed_content;
+      Alcotest.test_case "nested models" `Quick test_nested_models;
+      Alcotest.test_case "xmark generator conforms" `Quick test_xmark_conforms;
+      QCheck_alcotest.to_alcotest prop_sample_validates;
+      QCheck_alcotest.to_alcotest prop_recursive_sample;
+    ] )

@@ -1,0 +1,204 @@
+(* FLWOR-lite: iterate / filter / sort / construct over the shredded store. *)
+
+module O = Ordered_xml
+module T = Xmllib.Types
+module F = O.Flwor
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let doc =
+  Xmllib.Parser.parse_document
+    {|<shop><item n="apple"><price>3</price><qty>10</qty></item><item n="plum"><price>7</price><qty>2</qty></item><item n="pear"><price>5</price><qty>4</qty></item></shop>|}
+
+let env =
+  lazy
+    (let db = Reldb.Db.create () in
+     let stores =
+       List.map (fun enc -> (enc, O.Api.Store.create db ~name:"s" enc doc)) O.Encoding.all
+     in
+     (db, stores))
+
+let render nodes = String.concat "" (List.map Xmllib.Printer.node_to_string nodes)
+
+let run_all q =
+  let db, stores = Lazy.force env in
+  let results =
+    List.map (fun (enc, _) -> (enc, F.run db ~doc:"s" enc q)) stores
+  in
+  (* all encodings must agree *)
+  (match results with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (enc, r) ->
+          if render r <> render first then
+            Alcotest.failf "%s disagrees: %s vs %s" (O.Encoding.name enc)
+              (render r) (render first))
+        rest
+  | [] -> ());
+  snd (List.hd results)
+
+let test_basic_loop () =
+  let out = run_all "for $i in /shop/item return <n>{$i/@n}</n>" in
+  check string_t "names" "<n>apple</n><n>plum</n><n>pear</n>" (render out)
+
+let test_where_numeric () =
+  let out =
+    run_all
+      "for $i in /shop/item where $i/price > 4 return <x>{$i/@n}</x>"
+  in
+  check string_t "filtered" "<x>plum</x><x>pear</x>" (render out)
+
+let test_order_by () =
+  let out =
+    run_all
+      "for $i in /shop/item order by $i/price descending return <p>{$i/price/text()}</p>"
+  in
+  check string_t "sorted" "<p>7</p><p>5</p><p>3</p>" (render out)
+
+let test_let_and_attr_splice () =
+  let out =
+    run_all
+      "for $i in /shop/item let $p := $i/price where $p > 2 order by $i/@n \
+       return <item name=\"{$i/@n}\" price=\"{$p}\"/>"
+  in
+  check string_t "constructed"
+    "<item name=\"apple\" price=\"3\"/><item name=\"pear\" price=\"5\"/><item name=\"plum\" price=\"7\"/>"
+    (render out)
+
+let test_nested_for () =
+  let out =
+    run_all
+      "for $i in /shop/item for $q in $i/qty where $q < 5 return <low>{$i/@n}</low>"
+  in
+  check string_t "joined" "<low>plum</low><low>pear</low>" (render out)
+
+let test_node_splice () =
+  let out = run_all "for $i in /shop/item where $i/@n = 'plum' return <keep>{$i/price}</keep>" in
+  check string_t "subtree splice" "<keep><price>7</price></keep>" (render out)
+
+let test_nested_constructor () =
+  let out =
+    run_all
+      "for $i in /shop/item where $i/price >= 5 order by $i/price \
+       return <row><name>{$i/@n}</name><value>{$i/price/text()}</value></row>"
+  in
+  check string_t "nested"
+    "<row><name>pear</name><value>5</value></row><row><name>plum</name><value>7</value></row>"
+    (render out)
+
+let test_existence_where () =
+  let out = run_all "for $i in /shop/item where $i/qty return <y>{$i/@n}</y>" in
+  check int_t "all have qty" 3 (List.length out)
+
+let test_on_xmark () =
+  (* the publishing workload on the auction data *)
+  let db = Reldb.Db.create () in
+  let d = O.Workload.dataset ~scale:1 in
+  ignore (O.Api.Store.create db ~name:"x" O.Encoding.Dewey_enc d);
+  let out =
+    F.run db ~doc:"x" O.Encoding.Dewey_enc
+      "for $a in /site/closed_auctions/closed_auction where $a/price > 500 \
+       order by $a/price descending \
+       return <sale price=\"{$a/price/text()}\" buyer=\"{$a/buyer/@person}\"/>"
+  in
+  let idx = O.Doc_index.build d in
+  let expected =
+    O.Dom_eval.eval idx
+      (O.Xpath_parser.parse "/site/closed_auctions/closed_auction[price > 500]")
+  in
+  check int_t "result count" (List.length expected) (List.length out);
+  (* descending prices *)
+  let prices =
+    List.filter_map
+      (fun n -> Option.map float_of_string (T.attribute_value n "price"))
+      out
+  in
+  check bool_t "sorted desc" true
+    (List.sort (fun a b -> compare b a) prices = prices)
+
+let test_parse_errors () =
+  let bad q =
+    match F.parse q with
+    | exception F.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" q
+  in
+  bad "";
+  bad "return <a/>";
+  bad "for $x in /a";
+  bad "for x in /a return <b/>";
+  bad "for $x in /a return <b>";
+  bad "for $x in /a return <b></c>";
+  bad "for $x in /a return <b>{$x</b>";
+  bad "for $x in /a where return <b/>"
+
+let test_unbound_variable () =
+  let db, _ = Lazy.force env in
+  match F.run db ~doc:"s" O.Encoding.Global "for $i in /shop/item return <x>{$nope}</x>" with
+  | exception F.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unbound variable accepted"
+
+let test_value_join () =
+  (* var-to-var comparison: items cheaper than apple *)
+  let out =
+    run_all
+      "for $i in /shop/item for $j in /shop/item where $j/@n = 'apple' and \
+       $i/price < $j/price return <cheap>{$i/@n}</cheap>"
+  in
+  check string_t "nothing cheaper than apple" "" (render out);
+  let out2 =
+    run_all
+      "for $i in /shop/item for $j in /shop/item where $j/@n = 'pear' and \
+       $i/price < $j/price return <cheap>{$i/@n}</cheap>"
+  in
+  check string_t "apple cheaper than pear" "<cheap>apple</cheap>" (render out2);
+  (* string equality join: self-join on names *)
+  let out3 =
+    run_all
+      "for $i in /shop/item for $j in /shop/item where $i/@n = $j/@n \
+       return <m>{$i/@n}</m>"
+  in
+  check int_t "self equi-join" 3 (List.length out3)
+
+(* randomized: a fixed publishing query agrees across encodings on random
+   documents *)
+let prop_flwor_cross_encoding =
+  QCheck.Test.make ~name:"flwor agrees across encodings (random docs)"
+    ~count:40
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let doc = Xmllib.Generator.random_tree ~seed ~max_depth:4 ~max_fanout:4 () in
+      let db = Reldb.Db.create () in
+      let q =
+        "for $x in //item where $x/@k0 order by $x/@k0 return <r k=\"{$x/@k0}\">{$x/text()}</r>"
+      in
+      let render enc =
+        let name = Printf.sprintf "r%d" (Hashtbl.hash (O.Encoding.name enc)) in
+        ignore (O.Api.Store.create db ~name enc doc);
+        String.concat ""
+          (List.map Xmllib.Printer.node_to_string (F.run db ~doc:name enc q))
+      in
+      let outs = List.map render O.Encoding.all in
+      match outs with
+      | first :: rest -> List.for_all (String.equal first) rest
+      | [] -> true)
+
+let tests =
+  ( "flwor",
+    [
+      Alcotest.test_case "basic loop" `Quick test_basic_loop;
+      Alcotest.test_case "where (numeric)" `Quick test_where_numeric;
+      Alcotest.test_case "order by" `Quick test_order_by;
+      Alcotest.test_case "let + attribute splice" `Quick test_let_and_attr_splice;
+      Alcotest.test_case "nested for" `Quick test_nested_for;
+      Alcotest.test_case "node splice" `Quick test_node_splice;
+      Alcotest.test_case "nested constructor" `Quick test_nested_constructor;
+      Alcotest.test_case "existence where" `Quick test_existence_where;
+      Alcotest.test_case "auction publishing" `Quick test_on_xmark;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+      Alcotest.test_case "value joins" `Quick test_value_join;
+      QCheck_alcotest.to_alcotest prop_flwor_cross_encoding;
+    ] )

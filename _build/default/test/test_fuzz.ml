@@ -1,0 +1,102 @@
+(* Robustness fuzzing: every parser must either succeed or raise its own
+   documented exception — never crash, loop, or leak an internal error. *)
+
+module O = Ordered_xml
+
+let no_crash name count gen f =
+  QCheck.Test.make ~name ~count gen (fun input ->
+      match f input with
+      | _ -> true
+      | exception Xmllib.Parser.Parse_error _
+      | exception Xmllib.Lexer.Error _
+      | exception Xmllib.Sax.Error _
+      | exception O.Xpath_parser.Parse_error _
+      | exception O.Flwor.Parse_error _
+      | exception Reldb.Db.Sql_error _
+      | exception Invalid_argument _ ->
+          true)
+
+(* strings biased towards each grammar's own alphabet *)
+let biased alphabet =
+  QCheck.make ~print:(fun s -> s)
+    QCheck.Gen.(
+      map (String.concat "")
+        (list_size (int_bound 30)
+           (oneof [ oneofl alphabet; map (String.make 1) printable ])))
+
+let xmlish =
+  biased
+    [ "<"; ">"; "</"; "/>"; "a"; "b"; "="; "\""; "'"; "&"; "&amp;"; "<!--";
+      "-->"; "<?"; "?>"; "<![CDATA["; "]]>"; " "; "x" ]
+
+let xpathish =
+  biased
+    [ "/"; "//"; "["; "]"; "("; ")"; "@"; "*"; "."; ".."; "::"; "text()";
+      "node()"; "and"; "or"; "not"; "position()"; "last()"; "count"; "a";
+      "b"; "1"; "'s'"; "="; "<"; ">"; "|"; " " ]
+
+let sqlish =
+  biased
+    [ "SELECT"; "FROM"; "WHERE"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
+      "DELETE"; "CREATE"; "TABLE"; "INDEX"; "GROUP"; "BY"; "ORDER"; "("; ")";
+      ","; "*"; "="; "'"; "t"; "a"; "1"; "X'00'"; " "; ";"; "--" ]
+
+let flworish =
+  biased
+    [ "for"; "let"; "where"; "order"; "by"; "return"; "$x"; "in"; ":=";
+      "/a"; "$x/b"; "<r>"; "</r>"; "{"; "}"; "'s'"; ">"; "1"; " " ]
+
+let prop_xml_parser =
+  no_crash "xml parser never crashes" 500 xmlish (fun s ->
+      ignore (Xmllib.Parser.parse_document s))
+
+let prop_sax =
+  no_crash "sax never crashes" 500 xmlish (fun s ->
+      ignore (Xmllib.Sax.count_events s))
+
+let prop_xpath_parser =
+  no_crash "xpath parser never crashes" 500 xpathish (fun s ->
+      ignore (O.Xpath_parser.parse_union s))
+
+let prop_sql =
+  let db = Reldb.Db.create () in
+  ignore (Reldb.Db.exec db "CREATE TABLE t (a INT, b TEXT)");
+  ignore (Reldb.Db.exec db "INSERT INTO t VALUES (1, 'x')");
+  no_crash "sql engine never crashes" 500 sqlish (fun s ->
+      ignore (Reldb.Db.exec db s))
+
+let prop_flwor_parser =
+  no_crash "flwor parser never crashes" 500 flworish (fun s ->
+      ignore (O.Flwor.parse s))
+
+let prop_dewey_decode =
+  no_crash "dewey decode never crashes" 500
+    (QCheck.string_gen QCheck.Gen.char)
+    (fun s -> ignore (O.Dewey.decode s))
+
+let prop_entities =
+  no_crash "entity decoder never crashes" 300
+    (biased [ "&"; ";"; "#"; "x"; "amp"; "lt"; "a"; "1" ])
+    (fun s -> ignore (Xmllib.Lexer.decode_entities s))
+
+(* parsed XPath renders back to something the parser accepts, and both parse
+   to the same evaluation result *)
+let prop_xpath_render_roundtrip =
+  QCheck.Test.make ~name:"xpath render/parse roundtrip" ~count:300
+    Xpath_gen.arb_path (fun path ->
+      let rendered = O.Xpath_ast.to_string path in
+      let reparsed = O.Xpath_parser.parse rendered in
+      O.Xpath_ast.to_string reparsed = rendered)
+
+let tests =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest prop_xml_parser;
+      QCheck_alcotest.to_alcotest prop_sax;
+      QCheck_alcotest.to_alcotest prop_xpath_parser;
+      QCheck_alcotest.to_alcotest prop_sql;
+      QCheck_alcotest.to_alcotest prop_flwor_parser;
+      QCheck_alcotest.to_alcotest prop_dewey_decode;
+      QCheck_alcotest.to_alcotest prop_entities;
+      QCheck_alcotest.to_alcotest prop_xpath_render_roundtrip;
+    ] )

@@ -1,0 +1,467 @@
+(* SQL engine: parser, expressions, planner behaviours, end-to-end DML/DDL. *)
+
+module D = Reldb.Db
+module V = Reldb.Value
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+let fresh () = D.create ()
+
+let e db sql = ignore (D.exec db sql)
+
+let ints db sql =
+  List.map
+    (fun row ->
+      Array.to_list
+        (Array.map (function V.Int i -> i | v -> Alcotest.failf "not int: %s" (V.to_string v)) row))
+    (D.query db sql)
+
+let setup_emp db =
+  e db "CREATE TABLE emp (id INT NOT NULL, name TEXT, dept INT, salary FLOAT)";
+  e db "CREATE UNIQUE INDEX emp_id ON emp (id)";
+  e db "CREATE INDEX emp_dept ON emp (dept, salary)";
+  e db "CREATE TABLE dept (id INT NOT NULL, dname TEXT)";
+  e db "INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty')";
+  for i = 1 to 50 do
+    e db
+      (Printf.sprintf "INSERT INTO emp VALUES (%d, 'e%d', %d, %d.0)" i i
+         (1 + (i mod 2)) (1000 + i))
+  done
+
+(* --- expression layer ------------------------------------------------ *)
+
+let test_like () =
+  let cases =
+    [
+      ("abc", "abc", true);
+      ("abc", "a%", true);
+      ("abc", "%c", true);
+      ("abc", "a_c", true);
+      ("abc", "a_b", false);
+      ("abc", "%", true);
+      ("", "%", true);
+      ("", "_", false);
+      ("aXbXc", "a%b%c", true);
+      ("mississippi", "%iss%ppi", true);
+    ]
+  in
+  List.iter
+    (fun (s, p, expect) ->
+      check bool_t (Printf.sprintf "%s LIKE %s" s p) expect
+        (Reldb.Expr.like_match ~pattern:p s))
+    cases
+
+let test_three_valued_logic () =
+  let db = fresh () in
+  e db "CREATE TABLE t (a INT, b INT)";
+  e db "INSERT INTO t VALUES (1, NULL), (NULL, 2), (3, 4)";
+  check int_t "null comparison filters" 1
+    (List.length (D.query db "SELECT a FROM t WHERE a < 5 AND b > 0"));
+  check int_t "is null" 1 (List.length (D.query db "SELECT a FROM t WHERE a IS NULL"));
+  check int_t "is not null" 2
+    (List.length (D.query db "SELECT a FROM t WHERE a IS NOT NULL"));
+  (* NOT (NULL) is NULL -> filtered *)
+  check int_t "not null pred" 1
+    (List.length (D.query db "SELECT a FROM t WHERE NOT (b > 2)"))
+
+let test_arith_and_concat () =
+  let db = fresh () in
+  e db "CREATE TABLE one (x INT)";
+  e db "INSERT INTO one VALUES (7)";
+  (match D.query db "SELECT x * 2 + 1, x / 2, x % 3, -x, x || 'b' FROM one" with
+  | [ [| V.Int 15; V.Int 3; V.Int 1; V.Int (-7); V.Str "7b" |] ] -> ()
+  | r ->
+      Alcotest.failf "arith row: %s"
+        (String.concat ";" (List.map Reldb.Tuple.to_string r)));
+  (match D.exec db "SELECT x / 0 FROM one" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "division by zero must error")
+
+(* --- parser ----------------------------------------------------------- *)
+
+let test_parse_errors () =
+  let db = fresh () in
+  let bad sql =
+    match D.exec db sql with
+    | exception D.Sql_error _ -> ()
+    | _ -> Alcotest.failf "expected error: %s" sql
+  in
+  bad "SELEC 1";
+  bad "SELECT FROM t";
+  bad "SELECT * FROM";
+  bad "SELECT * FROM nosuch";
+  bad "INSERT INTO nosuch VALUES (1)";
+  bad "CREATE TABLE t (a NOTATYPE)";
+  bad "SELECT * FROM t WHERE";
+  bad "DROP TABLE nosuch"
+
+let test_quoting () =
+  let db = fresh () in
+  e db "CREATE TABLE t (s TEXT)";
+  e db "INSERT INTO t VALUES ('it''s')";
+  match D.query db "SELECT s FROM t WHERE s = 'it''s'" with
+  | [ [| V.Str "it's" |] ] -> ()
+  | _ -> Alcotest.fail "quote handling"
+
+let test_bytes_literals () =
+  let db = fresh () in
+  e db "CREATE TABLE t (b BYTES)";
+  e db "INSERT INTO t VALUES (X'0102ff')";
+  (match D.query db "SELECT b FROM t WHERE b >= X'0102'" with
+  | [ [| V.Bytes "\x01\x02\xff" |] ] -> ()
+  | _ -> Alcotest.fail "bytes roundtrip");
+  check int_t "bytes range excludes" 0
+    (List.length (D.query db "SELECT b FROM t WHERE b < X'0102'"))
+
+(* --- query behaviours -------------------------------------------------- *)
+
+let test_order_limit_offset () =
+  let db = fresh () in
+  setup_emp db;
+  check
+    (Alcotest.list (Alcotest.list int_t))
+    "top 3 desc"
+    [ [ 50 ]; [ 49 ]; [ 48 ] ]
+    (ints db "SELECT id FROM emp ORDER BY salary DESC LIMIT 3");
+  check
+    (Alcotest.list (Alcotest.list int_t))
+    "offset"
+    [ [ 3 ]; [ 4 ] ]
+    (ints db "SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2")
+
+let test_joins () =
+  let db = fresh () in
+  setup_emp db;
+  check int_t "equi join rows" 50
+    (List.length (D.query db "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id"));
+  (* join + filter + projection *)
+  (match
+     D.query db
+       "SELECT d.dname, e.name FROM emp e, dept d WHERE e.dept = d.id AND \
+        e.id = 7"
+   with
+  | [ [| V.Str "sales"; V.Str "e7" |] ] -> ()
+  | _ -> Alcotest.fail "join row wrong");
+  (* cross join *)
+  check int_t "cross" 150
+    (List.length (D.query db "SELECT e.id FROM emp e, dept d"));
+  (* theta join: dept 1 (25 rows) matches d.id in {2,3}; dept 2 matches {3} *)
+  check int_t "theta" 75
+    (List.length (D.query db "SELECT e.id FROM emp e, dept d WHERE e.dept < d.id"))
+
+let test_three_way_join () =
+  let db = fresh () in
+  e db "CREATE TABLE a (x INT)";
+  e db "CREATE TABLE b (x INT, y INT)";
+  e db "CREATE TABLE c (y INT, z TEXT)";
+  e db "INSERT INTO a VALUES (1), (2)";
+  e db "INSERT INTO b VALUES (1, 10), (2, 20), (2, 21)";
+  e db "INSERT INTO c VALUES (10, 'ten'), (20, 'twenty'), (21, 'twenty-one')";
+  check int_t "3-way" 3
+    (List.length
+       (D.query db
+          "SELECT c.z FROM a, b, c WHERE a.x = b.x AND b.y = c.y"))
+
+let test_aggregates () =
+  let db = fresh () in
+  setup_emp db;
+  (match D.query db "SELECT COUNT(*), MIN(salary), MAX(salary) FROM emp" with
+  | [ [| V.Int 50; V.Float 1001.0; V.Float 1050.0 |] ] -> ()
+  | r -> Alcotest.failf "agg: %s" (String.concat ";" (List.map Reldb.Tuple.to_string r)));
+  (match
+     D.query db
+       "SELECT d.dname, COUNT(*) AS n FROM emp e, dept d WHERE e.dept = d.id \
+        GROUP BY d.dname ORDER BY d.dname"
+   with
+  | [ [| V.Str "eng"; V.Int 25 |]; [| V.Str "sales"; V.Int 25 |] ] -> ()
+  | _ -> Alcotest.fail "group by");
+  (* aggregate over empty input *)
+  (match D.query db "SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 999" with
+  | [ [| V.Int 0; V.Null |] ] -> ()
+  | _ -> Alcotest.fail "empty agg");
+  (* AVG *)
+  match D.query db "SELECT AVG(dept) FROM emp" with
+  | [ [| V.Float f |] ] when abs_float (f -. 1.5) < 1e-9 -> ()
+  | _ -> Alcotest.fail "avg"
+
+let test_distinct () =
+  let db = fresh () in
+  setup_emp db;
+  check int_t "distinct depts" 2
+    (List.length (D.query db "SELECT DISTINCT dept FROM emp"))
+
+let test_between_in_like () =
+  let db = fresh () in
+  setup_emp db;
+  check int_t "between" 5
+    (List.length (D.query db "SELECT id FROM emp WHERE id BETWEEN 3 AND 7"));
+  check int_t "in" 3
+    (List.length (D.query db "SELECT id FROM emp WHERE id IN (1, 2, 3, 999)"));
+  check int_t "not in" 47
+    (List.length (D.query db "SELECT id FROM emp WHERE id NOT IN (1, 2, 3)"));
+  check int_t "like" 10
+    (List.length (D.query db "SELECT id FROM emp WHERE name LIKE 'e1_' AND id < 20"))
+
+let test_update_delete () =
+  let db = fresh () in
+  setup_emp db;
+  (match D.exec db "UPDATE emp SET salary = salary * 2.0 WHERE dept = 1" with
+  | D.Affected 25 -> ()
+  | _ -> Alcotest.fail "update count");
+  (match D.query db "SELECT MAX(salary) FROM emp" with
+  | [ [| V.Float f |] ] when f = 2100.0 -> ()
+  | _ -> Alcotest.fail "update applied");
+  (match D.exec db "DELETE FROM emp WHERE dept = 2" with
+  | D.Affected 25 -> ()
+  | _ -> Alcotest.fail "delete count");
+  check int_t "remaining" 25 (List.length (D.query db "SELECT id FROM emp"))
+
+let test_unique_shift_update () =
+  (* the statement-level constraint semantics the encodings rely on *)
+  let db = fresh () in
+  e db "CREATE TABLE t (k INT NOT NULL)";
+  e db "CREATE UNIQUE INDEX t_k ON t (k)";
+  e db "INSERT INTO t VALUES (1), (2), (3), (4), (5)";
+  (match D.exec db "UPDATE t SET k = k + 1 WHERE k >= 3" with
+  | D.Affected 3 -> ()
+  | _ -> Alcotest.fail "shift count");
+  check
+    (Alcotest.list (Alcotest.list int_t))
+    "shifted"
+    [ [ 1 ]; [ 2 ]; [ 4 ]; [ 5 ]; [ 6 ] ]
+    (ints db "SELECT k FROM t ORDER BY k")
+
+let test_constraints () =
+  let db = fresh () in
+  e db "CREATE TABLE t (k INT NOT NULL)";
+  e db "CREATE UNIQUE INDEX t_k ON t (k)";
+  e db "INSERT INTO t VALUES (1)";
+  (match D.exec db "INSERT INTO t VALUES (1)" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "duplicate must fail");
+  (match D.exec db "INSERT INTO t VALUES (NULL)" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "not null must fail");
+  (* failed insert must not corrupt the table *)
+  check int_t "intact" 1 (List.length (D.query db "SELECT k FROM t"))
+
+let test_insert_columns () =
+  let db = fresh () in
+  e db "CREATE TABLE t (a INT, b TEXT, c FLOAT)";
+  e db "INSERT INTO t (b, a) VALUES ('x', 1)";
+  match D.query db "SELECT a, b, c FROM t" with
+  | [ [| V.Int 1; V.Str "x"; V.Null |] ] -> ()
+  | _ -> Alcotest.fail "column targeting"
+
+(* --- planner behaviours ------------------------------------------------ *)
+
+let test_having () =
+  let db = fresh () in
+  setup_emp db;
+  (match
+     D.query db
+       "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 20 \
+        ORDER BY dept"
+   with
+  | [ [| V.Int 1; V.Int 25 |]; [| V.Int 2; V.Int 25 |] ] -> ()
+  | r -> Alcotest.failf "having rows: %d" (List.length r));
+  check int_t "having filters all" 0
+    (List.length
+       (D.query db "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 99"));
+  (* having over an aggregate not in the select list *)
+  check int_t "having on hidden agg" 1
+    (List.length
+       (D.query db
+          "SELECT dept FROM emp GROUP BY dept HAVING MAX(salary) >= 1050.0"));
+  (* group expr in having *)
+  check int_t "group expr in having" 1
+    (List.length (D.query db "SELECT dept FROM emp GROUP BY dept HAVING dept = 1"));
+  match D.exec db "SELECT id FROM emp HAVING id > 3" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "HAVING without aggregation must fail"
+
+let test_union_all () =
+  let db = fresh () in
+  setup_emp db;
+  check int_t "union all keeps duplicates" 100
+    (List.length
+       (D.query db "SELECT id FROM emp UNION ALL SELECT id FROM emp"));
+  (match
+     D.query db
+       "SELECT MIN(id) FROM emp UNION ALL SELECT MAX(id) FROM emp"
+   with
+  | [ [| V.Int 1 |]; [| V.Int 50 |] ] -> ()
+  | _ -> Alcotest.fail "union of aggregates");
+  (* arity mismatch rejected *)
+  match D.exec db "SELECT id, name FROM emp UNION ALL SELECT id FROM emp" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted"
+
+let test_transactions () =
+  let db = fresh () in
+  setup_emp db;
+  (* rollback restores rows, updates and deletes — and index contents *)
+  e db "BEGIN";
+  e db "INSERT INTO emp VALUES (999, 'temp', 1, 1.0)";
+  e db "UPDATE emp SET salary = 0.0 WHERE id = 1";
+  e db "DELETE FROM emp WHERE id = 2";
+  (* 50 originals - id 1 (zeroed) - id 2 (deleted) + temp = 49 *)
+  check int_t "dirty state visible" 49
+    (List.length (D.query db "SELECT id FROM emp WHERE salary > 0.5"));
+  e db "ROLLBACK";
+  check int_t "row count restored" 50 (List.length (D.query db "SELECT id FROM emp"));
+  check int_t "update undone" 0
+    (List.length (D.query db "SELECT id FROM emp WHERE salary = 0.0"));
+  check int_t "indexed probe after rollback" 1
+    (List.length (D.query db "SELECT id FROM emp WHERE id = 2"));
+  (* commit keeps changes *)
+  e db "BEGIN";
+  e db "DELETE FROM emp WHERE id = 2";
+  e db "COMMIT";
+  check int_t "commit kept" 49 (List.length (D.query db "SELECT id FROM emp"));
+  (* with_transaction rolls back on exception *)
+  (match
+     D.with_transaction db (fun () ->
+         e db "DELETE FROM emp";
+         failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  check int_t "rolled back on exception" 49
+    (List.length (D.query db "SELECT id FROM emp"));
+  (* DDL forbidden inside, unbalanced commit rejected *)
+  e db "BEGIN";
+  (match D.exec db "CREATE TABLE x (a INT)" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "DDL in txn accepted");
+  e db "ROLLBACK";
+  match D.exec db "COMMIT" with
+  | exception D.Sql_error _ -> ()
+  | _ -> Alcotest.fail "commit without begin accepted"
+
+let test_index_selection () =
+  let db = fresh () in
+  setup_emp db;
+  let plan = D.explain db "SELECT id FROM emp WHERE dept = 1 AND salary > 1010.0" in
+  check bool_t "uses composite index" true
+    (Astring_contains.contains plan "IndexScan emp.emp_dept");
+  let plan2 = D.explain db "SELECT id FROM emp WHERE name = 'e1'" in
+  check bool_t "falls back to scan" true
+    (Astring_contains.contains plan2 "SeqScan emp")
+
+let test_sort_elimination () =
+  let db = fresh () in
+  setup_emp db;
+  let plan = D.explain db "SELECT id FROM emp WHERE dept = 1 ORDER BY dept, salary" in
+  check bool_t "no sort node" false (Astring_contains.contains plan "Sort");
+  let plan_desc =
+    D.explain db "SELECT id FROM emp WHERE dept = 1 ORDER BY dept DESC, salary DESC"
+  in
+  check bool_t "desc via reverse scan" false
+    (Astring_contains.contains plan_desc "Sort");
+  (* results actually ordered *)
+  let rows = ints db "SELECT id FROM emp WHERE dept = 1 ORDER BY salary DESC" in
+  check (Alcotest.list int_t) "head" [ 50 ] (List.hd rows)
+
+let test_hash_join_planned () =
+  let db = fresh () in
+  setup_emp db;
+  let plan = D.explain db "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id" in
+  check bool_t "hash join" true (Astring_contains.contains plan "HashJoin")
+
+let test_rows_counters () =
+  let db = fresh () in
+  setup_emp db;
+  D.reset_counters db;
+  ignore (D.query db "SELECT id FROM emp WHERE id = 25");
+  let reads = D.rows_read db in
+  check bool_t "indexed point read is cheap" true (reads <= 3)
+
+let test_multi_key_order () =
+  let db = fresh () in
+  setup_emp db;
+  (* mixed-direction multi-key sort *)
+  let rows = ints db "SELECT dept, id FROM emp ORDER BY dept ASC, id DESC LIMIT 3" in
+  check (Alcotest.list (Alcotest.list int_t)) "mixed sort"
+    [ [ 1; 50 ]; [ 1; 48 ]; [ 1; 46 ] ] rows
+
+let test_expression_precedence () =
+  let db = fresh () in
+  e db "CREATE TABLE one (x INT)";
+  e db "INSERT INTO one VALUES (10)";
+  (match D.query db "SELECT 2 + 3 * x, (2 + 3) * x, -x + 1 FROM one" with
+  | [ [| V.Int 32; V.Int 50; V.Int (-9) |] ] -> ()
+  | r -> Alcotest.failf "precedence: %s" (String.concat ";" (List.map Reldb.Tuple.to_string r)));
+  (* boolean precedence: AND binds tighter than OR *)
+  check int_t "and/or precedence" 1
+    (List.length (D.query db "SELECT x FROM one WHERE 1 = 2 AND 1 = 1 OR x = 10"))
+
+let test_scalar_functions () =
+  let db = fresh () in
+  e db "CREATE TABLE s (v TEXT, n INT)";
+  e db "INSERT INTO s VALUES ('Hello', -4)";
+  match
+    D.query db
+      "SELECT LENGTH(v), UPPER(v), LOWER(v), ABS(n), SUBSTR(v, 2, 3) FROM s"
+  with
+  | [ [| V.Int 5; V.Str "HELLO"; V.Str "hello"; V.Int 4; V.Str "ell" |] ] -> ()
+  | r -> Alcotest.failf "functions: %s" (String.concat ";" (List.map Reldb.Tuple.to_string r))
+
+let test_delete_via_index () =
+  (* DELETE through an index range, then ensure the index agrees *)
+  let db = fresh () in
+  setup_emp db;
+  D.reset_counters db;
+  (match D.exec db "DELETE FROM emp WHERE id BETWEEN 10 AND 19" with
+  | D.Affected 10 -> ()
+  | _ -> Alcotest.fail "ranged delete count");
+  check bool_t "indexed delete is cheap" true (D.rows_read db < 30);
+  check int_t "index sees deletions" 0
+    (List.length (D.query db "SELECT id FROM emp WHERE id = 15"))
+
+let test_order_by_aggregate () =
+  let db = fresh () in
+  setup_emp db;
+  match
+    D.query db
+      "SELECT dept, COUNT(*) AS n FROM emp WHERE id <= 10 GROUP BY dept \
+       ORDER BY COUNT(*) DESC"
+  with
+  | [ [| V.Int _; V.Int a |]; [| V.Int _; V.Int b |] ] when a >= b -> ()
+  | _ -> Alcotest.fail "order by aggregate"
+
+let tests =
+  ( "sql",
+    [
+      Alcotest.test_case "LIKE matcher" `Quick test_like;
+      Alcotest.test_case "three-valued logic" `Quick test_three_valued_logic;
+      Alcotest.test_case "arith + concat" `Quick test_arith_and_concat;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "string quoting" `Quick test_quoting;
+      Alcotest.test_case "bytes literals" `Quick test_bytes_literals;
+      Alcotest.test_case "order/limit/offset" `Quick test_order_limit_offset;
+      Alcotest.test_case "joins" `Quick test_joins;
+      Alcotest.test_case "three-way join" `Quick test_three_way_join;
+      Alcotest.test_case "aggregates" `Quick test_aggregates;
+      Alcotest.test_case "distinct" `Quick test_distinct;
+      Alcotest.test_case "between/in/like" `Quick test_between_in_like;
+      Alcotest.test_case "update/delete" `Quick test_update_delete;
+      Alcotest.test_case "unique-shift update" `Quick test_unique_shift_update;
+      Alcotest.test_case "constraints" `Quick test_constraints;
+      Alcotest.test_case "insert column list" `Quick test_insert_columns;
+      Alcotest.test_case "HAVING" `Quick test_having;
+      Alcotest.test_case "UNION ALL" `Quick test_union_all;
+      Alcotest.test_case "transactions" `Quick test_transactions;
+      Alcotest.test_case "index selection" `Quick test_index_selection;
+      Alcotest.test_case "sort elimination" `Quick test_sort_elimination;
+      Alcotest.test_case "hash join planned" `Quick test_hash_join_planned;
+      Alcotest.test_case "I/O counters" `Quick test_rows_counters;
+      Alcotest.test_case "multi-key ORDER BY" `Quick test_multi_key_order;
+      Alcotest.test_case "expression precedence" `Quick test_expression_precedence;
+      Alcotest.test_case "scalar functions" `Quick test_scalar_functions;
+      Alcotest.test_case "delete via index" `Quick test_delete_via_index;
+      Alcotest.test_case "ORDER BY aggregate" `Quick test_order_by_aggregate;
+    ] )

@@ -1,0 +1,201 @@
+(* XPath: parser shapes and oracle (Dom_eval) semantics. *)
+
+module O = Ordered_xml
+module A = O.Xpath_ast
+module P = O.Xpath_parser
+module DI = O.Doc_index
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let parse = P.parse
+
+let parse_fails s =
+  match parse s with
+  | exception P.Parse_error _ -> ()
+  | _ -> Alcotest.failf "expected parse error: %s" s
+
+(* --- parser ----------------------------------------------------------- *)
+
+let test_parse_simple () =
+  let p = parse "/a/b/c" in
+  check Alcotest.bool "absolute" true p.A.absolute;
+  check int_t "steps" 3 (List.length p.A.steps);
+  check string_t "rendered" "/a/b/c" (A.to_string p)
+
+let test_parse_axes () =
+  let p = parse "a/following-sibling::b/../@id/descendant-or-self::node()" in
+  match List.map (fun (s : A.step) -> s.A.axis) p.A.steps with
+  | [ A.Child; A.Following_sibling; A.Parent; A.Attribute; A.Descendant_or_self ] -> ()
+  | _ -> Alcotest.fail "axis chain"
+
+let test_parse_dslash () =
+  let p = parse "//b" in
+  (match p.A.steps with
+  | [ { A.axis = A.Descendant; test = A.Name "b"; _ } ] -> ()
+  | _ -> Alcotest.fail "// at start");
+  let p2 = parse "/a//b" in
+  match p2.A.steps with
+  | [ _; { A.axis = A.Descendant; _ } ] -> ()
+  | _ -> Alcotest.fail "// between"
+
+let test_parse_predicates () =
+  let p = parse "/a/b[2][last()]/c[position() >= 3]" in
+  (match p.A.steps with
+  | [ _; { A.preds = [ A.P_pos (A.Eq, 2); A.P_last ]; _ };
+      { A.preds = [ A.P_pos (A.Ge, 3) ]; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "positional predicates");
+  let p2 = parse "/a[b/c and not(@x = 'v') or price > 9.5]" in
+  match p2.A.steps with
+  | [ { A.preds = [ A.P_or (A.P_and (A.P_exists _, A.P_not (A.P_cmp (_, A.Eq, A.L_str "v"))),
+                      A.P_cmp (_, A.Gt, A.L_num 9.5)) ]; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "boolean predicate tree"
+
+let test_parse_tests () =
+  let p = parse "/a/text()/comment()/node()/*" in
+  match List.map (fun (s : A.step) -> s.A.test) p.A.steps with
+  | [ A.Name "a"; A.Text_test; A.Comment_test; A.Node_test; A.Any_name ] -> ()
+  | _ -> Alcotest.fail "node tests"
+
+let test_parse_errors () =
+  parse_fails "";
+  parse_fails "/";
+  parse_fails "/a[";
+  parse_fails "/a[]";
+  parse_fails "/a[position()]";
+  parse_fails "/a/unknown::b";
+  parse_fails "/a//following-sibling::b";
+  parse_fails "/a[0]"
+
+(* --- oracle semantics -------------------------------------------------- *)
+
+let doc =
+  Xmllib.Parser.parse_document
+    {|<lib><shelf id="s1"><book y="1990">a</book><note/><book y="2005">b</book><book y="2010">c</book></shelf><shelf id="s2"><book y="2001">d</book></shelf></lib>|}
+
+let idx = lazy (DI.build doc)
+
+let eval s = O.Dom_eval.eval (Lazy.force idx) (parse s)
+
+let values s =
+  List.map (DI.string_value (Lazy.force idx)) (eval s)
+
+let test_child_position () =
+  (* [2] counts only nodes passing the name test, skipping <note/> *)
+  check (Alcotest.list string_t) "book[2]" [ "b"; ] (values "/lib/shelf[1]/book[2]");
+  check (Alcotest.list string_t) "book[last()]" [ "c"; "d" ]
+    (values "/lib/shelf/book[last()]")
+
+let test_position_range () =
+  check (Alcotest.list string_t) "range" [ "b"; "c" ]
+    (values "/lib/shelf[1]/book[position() >= 2 and position() <= 3]")
+
+let test_reverse_axis_positions () =
+  (* preceding-sibling positions count from the context leftwards *)
+  check (Alcotest.list string_t) "prec-sib [1]" [ "b" ]
+    (values "/lib/shelf[1]/book[3]/preceding-sibling::book[1]");
+  check (Alcotest.list string_t) "prec-sib all in doc order" [ "a"; "b" ]
+    (values "/lib/shelf[1]/book[3]/preceding-sibling::book")
+
+let test_following () =
+  check (Alcotest.list string_t) "following books" [ "b"; "c"; "d" ]
+    (values "/lib/shelf[1]/book[1]/following::book");
+  check (Alcotest.list string_t) "preceding books" [ "a"; "b"; "c" ]
+    (values "/lib/shelf[2]/book[1]/preceding::book")
+
+let test_descendant () =
+  check int_t "//book" 4 (List.length (eval "//book"));
+  check int_t "desc-or-self" 4
+    (List.length (eval "/lib/shelf/descendant-or-self::book"))
+
+let test_attribute_axis () =
+  check (Alcotest.list string_t) "@id" [ "s1"; "s2" ] (values "/lib/shelf/@id");
+  check int_t "@*" 2 (List.length (eval "/lib/shelf/@*"))
+
+let test_value_predicates () =
+  check (Alcotest.list string_t) "numeric attr" [ "c" ]
+    (values "/lib/shelf/book[@y > 2005]");
+  check (Alcotest.list string_t) "string eq" [ "b" ]
+    (values "/lib/shelf/book[@y = '2005']");
+  check (Alcotest.list string_t) "text cmp" [ "a" ]
+    (values "/lib/shelf/book[text() = 'a']");
+  check (Alcotest.list string_t) "exists" [ "s1"; "s2" ]
+    (values "/lib/shelf[book]/@id");
+  check int_t "not exists" 0 (List.length (eval "/lib/shelf[not(book)]"))
+
+let test_parent_self () =
+  check int_t "parent" 2 (List.length (eval "/lib/shelf/book[1]/.."));
+  check int_t "self" 4 (List.length (eval "//book/."))
+
+let test_union_docorder_dedup () =
+  (* two shelves' books, via a path that visits each book twice *)
+  let ids = eval "/lib/shelf/book/../book" in
+  check int_t "dedup" 4 (List.length ids);
+  check Alcotest.bool "sorted" true (List.sort compare ids = ids)
+
+let test_text_nodes () =
+  check int_t "text()" 4 (List.length (eval "//book/text()"))
+
+let test_ancestor_axes () =
+  (* closest-first positional semantics *)
+  check (Alcotest.list string_t) "ancestor[1] is the shelf" [ "s1" ]
+    (values "/lib/shelf[1]/book[1]/ancestor::*[1]/@id");
+  check int_t "ancestors of a book" 2
+    (List.length (eval "/lib/shelf[1]/book[1]/ancestor::*"));
+  check int_t "ancestor-or-self includes self" 3
+    (List.length (eval "/lib/shelf[1]/book[1]/ancestor-or-self::*"));
+  check int_t "named ancestor" 1
+    (List.length (eval "//book[1]/ancestor::lib"))
+
+let test_count_predicate () =
+  check (Alcotest.list string_t) "count >= 3" [ "s1" ]
+    (values "/lib/shelf[count(book) >= 3]/@id");
+  check (Alcotest.list string_t) "count = 1" [ "s2" ]
+    (values "/lib/shelf[count(book) = 1]/@id");
+  check int_t "count = 0 matches none" 0
+    (List.length (eval "/lib/shelf[count(book) = 0]"));
+  check int_t "count over attrs" 2
+    (List.length (eval "/lib/shelf[count(@id) = 1]"))
+
+let test_union_oracle () =
+  let u = O.Xpath_parser.parse_union "/lib/shelf[1]/book[1] | //book[@y > 2004] | /lib/shelf[2]/book" in
+  let ids = O.Dom_eval.eval_union (Lazy.force idx) u in
+  check Alcotest.bool "sorted, deduped" true
+    (List.sort_uniq compare ids = ids);
+  check int_t "union size" 4 (List.length ids)
+
+let test_union_parse () =
+  (match O.Xpath_parser.parse_union "/a | /b | //c" with
+  | [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "three alternatives");
+  match O.Xpath_parser.parse_union "/a" with
+  | [ _ ] -> ()
+  | _ -> Alcotest.fail "single path union"
+
+let tests =
+  ( "xpath",
+    [
+      Alcotest.test_case "parse simple" `Quick test_parse_simple;
+      Alcotest.test_case "parse axes" `Quick test_parse_axes;
+      Alcotest.test_case "parse //" `Quick test_parse_dslash;
+      Alcotest.test_case "parse predicates" `Quick test_parse_predicates;
+      Alcotest.test_case "parse node tests" `Quick test_parse_tests;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "child position" `Quick test_child_position;
+      Alcotest.test_case "position range" `Quick test_position_range;
+      Alcotest.test_case "reverse-axis positions" `Quick test_reverse_axis_positions;
+      Alcotest.test_case "following/preceding" `Quick test_following;
+      Alcotest.test_case "descendant" `Quick test_descendant;
+      Alcotest.test_case "attribute axis" `Quick test_attribute_axis;
+      Alcotest.test_case "value predicates" `Quick test_value_predicates;
+      Alcotest.test_case "parent/self" `Quick test_parent_self;
+      Alcotest.test_case "dedup + doc order" `Quick test_union_docorder_dedup;
+      Alcotest.test_case "text nodes" `Quick test_text_nodes;
+      Alcotest.test_case "ancestor axes" `Quick test_ancestor_axes;
+      Alcotest.test_case "count() predicate" `Quick test_count_predicate;
+      Alcotest.test_case "union (oracle)" `Quick test_union_oracle;
+      Alcotest.test_case "union (parser)" `Quick test_union_parse;
+    ] )

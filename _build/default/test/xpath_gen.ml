@@ -1,0 +1,144 @@
+(* Random XPath generator for the oracle-equivalence property tests.
+
+   Paths are generated over the tag alphabet of the random-tree generator so
+   that queries actually hit nodes. Value-comparison predicates stay within
+   the translator's exactly-equivalent territory (@attr / text()). *)
+
+module A = Ordered_xml.Xpath_ast
+
+let tags = [| "a"; "b"; "c"; "d"; "e"; "item"; "list"; "entry" |]
+
+let gen_test =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun t -> A.Name t) (oneofa tags));
+        (2, return A.Any_name);
+        (1, return A.Text_test);
+        (1, return A.Node_test);
+      ])
+
+let gen_axis =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, return A.Child);
+        (3, return A.Descendant);
+        (1, return A.Descendant_or_self);
+        (1, return A.Self);
+        (1, return A.Parent);
+        (2, return A.Attribute);
+        (2, return A.Following_sibling);
+        (2, return A.Preceding_sibling);
+        (1, return A.Following);
+        (1, return A.Preceding);
+        (1, return A.Ancestor);
+        (1, return A.Ancestor_or_self);
+      ])
+
+let rec gen_pred depth =
+  QCheck.Gen.(
+    if depth <= 0 then gen_leaf_pred
+    else
+      frequency
+        [
+          (5, gen_leaf_pred);
+          (1, map2 (fun a b -> A.P_and (a, b)) (gen_pred (depth - 1)) (gen_pred (depth - 1)));
+          (1, map2 (fun a b -> A.P_or (a, b)) (gen_pred (depth - 1)) (gen_pred (depth - 1)));
+          (1, map (fun a -> A.P_not a) (gen_pred (depth - 1)));
+        ])
+
+and gen_leaf_pred =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun k -> A.P_pos (A.Eq, 1 + k)) (int_bound 3));
+        ( 1,
+          map2
+            (fun op k -> A.P_pos (op, 1 + k))
+            (oneofl [ A.Le; A.Ge; A.Lt; A.Gt; A.Ne ])
+            (int_bound 3) );
+        (1, return A.P_last);
+        ( 1,
+          map2
+            (fun t k ->
+              A.P_count
+                ( { A.absolute = false;
+                    steps = [ { A.axis = A.Child; test = t; preds = [] } ] },
+                  A.Ge,
+                  k ))
+            gen_test (int_bound 3) );
+        ( 3,
+          map
+            (fun t ->
+              A.P_exists
+                { A.absolute = false; steps = [ { A.axis = A.Child; test = t; preds = [] } ] })
+            gen_test );
+        ( 2,
+          (* compare an attribute against a word from the generator pool *)
+          map2
+            (fun t lit ->
+              A.P_cmp
+                ( { A.absolute = false;
+                    steps = [ { A.axis = A.Attribute; test = A.Name t; preds = [] } ] },
+                  A.Eq,
+                  A.L_str lit ))
+            (oneofl [ "k0"; "k1"; "k2" ])
+            (oneofl [ "auction"; "bid"; "gold"; "market" ]) );
+        ( 1,
+          (* text comparison *)
+          map
+            (fun op ->
+              A.P_cmp
+                ( { A.absolute = false;
+                    steps = [ { A.axis = A.Child; test = A.Text_test; preds = [] } ] },
+                  op,
+                  A.L_str "gold" ))
+            (oneofl [ A.Eq; A.Ne ]) );
+        ( 2,
+          (* numeric comparisons on text and attributes *)
+          map3
+            (fun axis_attr op k ->
+              let step =
+                if axis_attr then
+                  { A.axis = A.Attribute; test = A.Name "k0"; preds = [] }
+                else { A.axis = A.Child; test = A.Text_test; preds = [] }
+              in
+              A.P_cmp
+                ( { A.absolute = false; steps = [ step ] },
+                  op,
+                  A.L_num (float_of_int k) ))
+            bool
+            (oneofl [ A.Lt; A.Le; A.Gt; A.Ge; A.Eq ])
+            (int_bound 60) );
+      ])
+
+let gen_step =
+  QCheck.Gen.(
+    map3
+      (fun axis test preds ->
+        (* attribute tests only make sense on the attribute axis; fix up *)
+        let test =
+          match (axis, test) with
+          | A.Attribute, (A.Text_test | A.Node_test) -> A.Any_name
+          | _ -> test
+        in
+        { A.axis; test; preds })
+      gen_axis gen_test
+      (frequency [ (5, return []); (3, list_size (int_range 1 2) (gen_pred 1)) ]))
+
+let gen_path =
+  QCheck.Gen.(
+    map
+      (fun steps ->
+        (* first step from the document root: child or descendant only *)
+        let steps =
+          match steps with
+          | ({ A.axis = A.Child | A.Descendant; _ } as s) :: _ -> s :: List.tl steps
+          | s :: rest -> { s with A.axis = A.Descendant } :: rest
+          | [] -> [ { A.axis = A.Descendant; test = A.Any_name; preds = [] } ]
+        in
+        { A.absolute = true; steps })
+      (list_size (int_range 1 4) gen_step))
+
+let arb_path = QCheck.make ~print:A.to_string gen_path
