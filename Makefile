@@ -1,0 +1,27 @@
+OXQ = dune exec --no-print-directory bin/oxq.exe --
+
+.PHONY: all build test check bench experiments clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# build + tier-1 tests + CLI smoke test over the quickstart catalog.
+# Run this before recording a change in CHANGES.md.
+check: build test
+	$(OXQ) stats examples/catalog.xml -e dewey
+	$(OXQ) query examples/catalog.xml '/catalog/book[1]/title' --trace
+	@echo "check: OK"
+
+bench:
+	dune exec bench/main.exe
+
+experiments:
+	dune exec bin/experiments.exe -- all
+
+clean:
+	dune clean

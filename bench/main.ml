@@ -9,6 +9,10 @@ open Bechamel
 open Toolkit
 module O = Ordered_xml
 
+(* benchmarks measure the engine, not the instrumentation: switch spans,
+   histograms and the slow-query path off for the whole process *)
+let () = Obs.set_enabled false
+
 let encodings = [ O.Encoding.Global; O.Encoding.Local; O.Encoding.Dewey_enc ]
 
 (* shared stores over the scale-1 auction document *)

@@ -1,21 +1,19 @@
 (* Experiment harness: regenerates every table/figure of the evaluation
    (DESIGN.md section 6, EXPERIMENTS.md for the recorded results).
 
-   Usage:  dune exec bin/experiments.exe -- [e1|e2|e3|e4|e5|e6|e7|all]
-   Times are wall-clock medians over repeated runs; "rows" are logical rows
+   Usage:  dune exec bin/experiments.exe -- [e1|e2|...|e9|e11|all]
+   Times come from the monotonic clock (Obs.Clock); phase breakdowns (E11)
+   are derived from the library's own spans; "rows" are logical rows
    read/written in the storage engine. *)
 
 module O = Ordered_xml
 
 let encodings = [ O.Encoding.Global; O.Encoding.Local; O.Encoding.Dewey_enc ]
 
+let time_ms f = snd (Obs.Clock.time_ms f)
+
 let median_ms ?(runs = 5) f =
-  let samples =
-    List.init runs (fun _ ->
-        let t0 = Unix.gettimeofday () in
-        ignore (f ());
-        (Unix.gettimeofday () -. t0) *. 1000.0)
-  in
+  let samples = List.init runs (fun _ -> time_ms (fun () -> ignore (f ()))) in
   let sorted = List.sort compare samples in
   List.nth sorted (runs / 2)
 
@@ -137,12 +135,11 @@ let e4 () =
         let store = O.Api.Store.create db ~name:"e4" enc doc in
         let root = O.Api.Store.root_id store in
         let p = O.Workload.insertion_pos pos ~sibling_count:500 in
-        let t0 = Unix.gettimeofday () in
-        let st =
-          O.Api.Store.insert_subtree store ~parent:root ~pos:p
-            O.Workload.small_fragment
+        let st, ms =
+          Obs.Clock.time_ms (fun () ->
+              O.Api.Store.insert_subtree store ~parent:root ~pos:p
+                O.Workload.small_fragment)
         in
-        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
         Printf.printf " %12d / %6.1f" st.O.Update.rows_renumbered ms)
       O.Workload.positions;
     print_newline ()
@@ -173,11 +170,12 @@ let e5 () =
             List.hd (O.Api.Store.query_ids store O.Workload.container_path)
           in
           let n_kids = O.Api.Store.count store "/site/open_auctions/open_auction" in
-          let t0 = Unix.gettimeofday () in
-          ignore
-            (O.Api.Store.insert_subtree store ~parent:container
-               ~pos:(1 + (n_kids / 2)) O.Workload.small_fragment);
-          let ms_ins = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let ms_ins =
+            time_ms (fun () ->
+                ignore
+                  (O.Api.Store.insert_subtree store ~parent:container
+                     ~pos:(1 + (n_kids / 2)) O.Workload.small_fragment))
+          in
           Printf.printf "%-6d %-11s %10.1f %10.1f %12.1f\n" scale
             (O.Encoding.name enc) ms_q2 ms_q7 ms_ins)
         encodings)
@@ -197,17 +195,18 @@ let e6 () =
     let rng = Xmllib.Rng.create 11 in
     Reldb.Db.reset_counters db;
     let renum = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to 100 do
-      let count = O.Api.Store.count store "/doc/item" in
-      let pos = 1 + Xmllib.Rng.int rng (count + 1) in
-      let st =
-        O.Api.Store.insert_subtree store ~parent:root ~pos
-          O.Workload.small_fragment
-      in
-      renum := !renum + st.O.Update.rows_renumbered
-    done;
-    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let ms =
+      time_ms (fun () ->
+          for _ = 1 to 100 do
+            let count = O.Api.Store.count store "/doc/item" in
+            let pos = 1 + Xmllib.Rng.int rng (count + 1) in
+            let st =
+              O.Api.Store.insert_subtree store ~parent:root ~pos
+                O.Workload.small_fragment
+            in
+            renum := !renum + st.O.Update.rows_renumbered
+          done)
+    in
     Printf.printf "%-18s %16d %14d %10.1f\n" label !renum
       (Reldb.Db.rows_written db) ms
   in
@@ -252,15 +251,16 @@ let e8 () =
     let store = O.Api.Store.create db ~name:"e8" enc doc in
     let root = O.Api.Store.root_id store in
     let renum = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    for i = 1 to 200 do
-      let st =
-        O.Api.Store.insert_subtree store ~parent:root ~pos:(pos_of i)
-          O.Workload.small_fragment
-      in
-      renum := !renum + st.O.Update.rows_renumbered
-    done;
-    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let ms =
+      time_ms (fun () ->
+          for i = 1 to 200 do
+            let st =
+              O.Api.Store.insert_subtree store ~parent:root ~pos:(pos_of i)
+                O.Workload.small_fragment
+            in
+            renum := !renum + st.O.Update.rows_renumbered
+          done)
+    in
     let s = O.Api.Store.storage store in
     Printf.printf "%-10s %-10s %16d %10.1f %14.1f %14d\n" label
       (O.Encoding.name enc) !renum ms s.O.Storage.avg_key_bytes
@@ -298,30 +298,30 @@ let e9 () =
     let container =
       List.hd (O.Api.Store.query_ids store O.Workload.container_path)
     in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to 300 do
-      if Xmllib.Rng.int rng 100 < read_pct then
-        ignore
-          (O.Api.Store.query store
-             (List.nth read_queries (Xmllib.Rng.int rng (List.length read_queries))))
-      else begin
-        let n = O.Api.Store.count store "/site/open_auctions/open_auction" in
-        if n > 4 && Xmllib.Rng.bool rng then
-          let victim =
-            List.hd
-              (O.Api.Store.query_ids store
-                 (Printf.sprintf "/site/open_auctions/open_auction[%d]"
-                    (1 + Xmllib.Rng.int rng n)))
-          in
-          ignore (O.Api.Store.delete_subtree store ~id:victim)
-        else
-          ignore
-            (O.Api.Store.insert_subtree store ~parent:container
-               ~pos:(1 + Xmllib.Rng.int rng (n + 1))
-               O.Workload.small_fragment)
-      end
-    done;
-    (Unix.gettimeofday () -. t0) *. 1000.0
+    time_ms (fun () ->
+        for _ = 1 to 300 do
+          if Xmllib.Rng.int rng 100 < read_pct then
+            ignore
+              (O.Api.Store.query store
+                 (List.nth read_queries
+                    (Xmllib.Rng.int rng (List.length read_queries))))
+          else begin
+            let n = O.Api.Store.count store "/site/open_auctions/open_auction" in
+            if n > 4 && Xmllib.Rng.bool rng then
+              let victim =
+                List.hd
+                  (O.Api.Store.query_ids store
+                     (Printf.sprintf "/site/open_auctions/open_auction[%d]"
+                        (1 + Xmllib.Rng.int rng n)))
+              in
+              ignore (O.Api.Store.delete_subtree store ~id:victim)
+            else
+              ignore
+                (O.Api.Store.insert_subtree store ~parent:container
+                   ~pos:(1 + Xmllib.Rng.int rng (n + 1))
+                   O.Workload.small_fragment)
+          end
+        done)
   in
   List.iter
     (fun enc ->
@@ -329,9 +329,73 @@ let e9 () =
         (run enc 90) (run enc 50) (run enc 10))
     (encodings @ [ O.Encoding.Global_gap; O.Encoding.Dewey_caret ])
 
+(* ------------------------------------------------------------------ E10 *)
+
+let e11 () =
+  header "E11: query/update phase breakdown from spans (scale 2; total ms per phase)";
+  (* every phase figure below comes from the library's own spans
+     (Obs.Span.collect), not from stopwatch calls around API entry points *)
+  let phases_of spans names =
+    let agg = Obs.Span.aggregate spans in
+    List.map
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) agg with
+        | Some (_, _, ms) -> ms
+        | None -> 0.0)
+      names
+  in
+  let doc = O.Workload.dataset ~scale:2 in
+  let query_phases = [ "xpath-parse"; "translate"; "sql-parse"; "plan"; "exec" ] in
+  Printf.printf "%-11s %-34s" "encoding" "query";
+  List.iter (fun p -> Printf.printf " %11s" p) query_phases;
+  print_newline ();
+  let queries =
+    [
+      "/site/open_auctions/open_auction/bidder[1]";
+      "/site/regions/africa/item[1]/following-sibling::item";
+    ]
+  in
+  List.iter
+    (fun enc ->
+      let db = Reldb.Db.create () in
+      let store = O.Api.Store.create db ~name:"e11" enc doc in
+      List.iter
+        (fun q ->
+          let _, spans =
+            Obs.Span.collect (fun () -> ignore (O.Api.Store.query store q))
+          in
+          Printf.printf "%-11s %-34s" (O.Encoding.name enc) q;
+          List.iter (fun ms -> Printf.printf " %11.2f" ms)
+            (phases_of spans query_phases);
+          print_newline ())
+        queries)
+    encodings;
+  let update_phases = [ "renumber"; "sql-parse"; "plan"; "exec" ] in
+  Printf.printf "\n%-11s %-34s" "encoding" "update";
+  List.iter (fun p -> Printf.printf " %11s" p) update_phases;
+  print_newline ();
+  List.iter
+    (fun enc ->
+      let db = Reldb.Db.create () in
+      let store = O.Api.Store.create db ~name:"e11" enc doc in
+      let container =
+        List.hd (O.Api.Store.query_ids store O.Workload.container_path)
+      in
+      let _, spans =
+        Obs.Span.collect (fun () ->
+            ignore
+              (O.Api.Store.insert_subtree store ~parent:container ~pos:1
+                 O.Workload.small_fragment))
+      in
+      Printf.printf "%-11s %-34s" (O.Encoding.name enc) "front insert";
+      List.iter (fun ms -> Printf.printf " %11.2f" ms)
+        (phases_of spans update_phases);
+      print_newline ())
+    (encodings @ [ O.Encoding.Global_gap; O.Encoding.Dewey_caret ])
+
 let all =
   [ ("e1", e1); ("e2", e2); ("e2b", e2b); ("e3", e3); ("e4", e4); ("e5", e5);
-    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9) ]
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -345,6 +409,6 @@ let () =
       match List.assoc_opt id all with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (want e1..e9 or all)\n" id;
+          Printf.eprintf "unknown experiment %s (want e1..e11 or all)\n" id;
           exit 1)
     targets

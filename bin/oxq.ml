@@ -65,23 +65,49 @@ let wrap f =
       Printf.eprintf "error: %s\n" m;
       1
 
+let trace_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print the span tree of the run (load, query phases, engine \
+           statements) after the results.")
+
 let query_cmd =
-  let run enc path q =
+  let run enc path q trace =
     wrap (fun () ->
-        let _, store = load_store path enc in
+        let go () =
+          let _, store = load_store path enc in
+          O.Api.Store.query_nodes store q
+        in
+        let nodes, spans =
+          if trace then Obs.Span.collect go else (go (), [])
+        in
         List.iter
-          (fun node ->
-            print_endline (Xmllib.Printer.node_to_string node))
-          (O.Api.Store.query_nodes store q))
+          (fun node -> print_endline (Xmllib.Printer.node_to_string node))
+          nodes;
+        if trace then begin
+          print_endline "-- trace:";
+          print_string (Obs.Span.to_string spans)
+        end)
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "query" ~doc:"Evaluate an XPath query; print matches as XML.")
-    Cmdliner.Term.(const run $ encoding $ file $ xpath)
+    Cmdliner.Term.(const run $ encoding $ file $ xpath $ trace_flag)
+
+let analyze_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Run EXPLAIN ANALYZE on the single-statement translation (when \
+           the query is eligible): the physical plan annotated with actual \
+           row counts, loop counts and per-operator time.")
 
 let sql_cmd =
-  let run enc path q =
+  let run enc path q analyze =
     wrap (fun () ->
-        let _, store = load_store path enc in
+        let db, store = load_store path enc in
         let r = O.Api.Store.query store q in
         Printf.printf "-- step-at-a-time: %d statement(s), %d result node(s)\n"
           r.O.Translate.statements
@@ -89,26 +115,39 @@ let sql_cmd =
         List.iter print_endline r.O.Translate.sql_log;
         match O.Xpath_parser.parse_union q with
         | [ path ] when O.Translate_sql.eligible enc path ->
-            Printf.printf "-- single-statement form:\n%s\n"
-              (O.Translate_sql.translate ~doc:"doc" enc path)
-        | _ -> ())
+            let sql = O.Translate_sql.translate ~doc:"doc" enc path in
+            Printf.printf "-- single-statement form:\n%s\n" sql;
+            if analyze then
+              Printf.printf "-- explain analyze:\n%s\n"
+                (Reldb.Db.explain_analyze db sql)
+        | _ ->
+            if analyze then
+              print_endline
+                "-- explain analyze: query has no single-statement form")
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "sql" ~doc:"Show the SQL a query translates to.")
-    Cmdliner.Term.(const run $ encoding $ file $ xpath)
+    Cmdliner.Term.(const run $ encoding $ file $ xpath $ analyze_flag)
 
 let stats_cmd =
-  let run path =
+  let run enc path =
     wrap (fun () ->
-        let ic = open_in_bin path in
-        let src = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        let doc = Xmllib.Parser.parse_document src in
-        Format.printf "%a@." Xmllib.Stats.pp (Xmllib.Stats.compute doc))
+        let doc = Xmllib.Parser.parse_document (read_file path) in
+        Format.printf "%a@." Xmllib.Stats.pp (Xmllib.Stats.compute doc);
+        (* shred under the chosen encoding so the engine metrics below
+           reflect a real load *)
+        let db = Reldb.Db.create () in
+        let store = O.Api.Store.create db ~name:"doc" enc doc in
+        Format.printf "@.%a@." O.Storage.pp (O.Api.Store.storage store);
+        print_newline ();
+        print_string (Obs.Report.to_text ()))
   in
   Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "stats" ~doc:"Structural statistics of the document.")
-    Cmdliner.Term.(const run $ file)
+    (Cmdliner.Cmd.info "stats"
+       ~doc:
+         "Structural statistics of the document, storage cost under the \
+          chosen encoding, and engine metrics for the load.")
+    Cmdliner.Term.(const run $ encoding $ file)
 
 let tables_cmd =
   let run enc path =

@@ -16,7 +16,24 @@ module Store = struct
   let name t = t.name
   let encoding t = t.enc
 
-  let query t xpath = Translate.eval_string t.db ~doc:t.name t.enc xpath
+  (* a span named after the API entry point, tagged with the encoding, so
+     traces read as user operation -> phases -> engine statements *)
+  let op_span t name f =
+    Obs.Span.with_ name ~attrs:[ ("encoding", Encoding.name t.enc) ] f
+
+  let query t xpath =
+    Obs.Span.with_ "query"
+      ~attrs:[ ("xpath", xpath); ("encoding", Encoding.name t.enc) ]
+    @@ fun () ->
+    let parsed =
+      Obs.Span.with_ "xpath-parse" (fun () -> Xpath_parser.parse_union xpath)
+    in
+    (* translation emits and executes SQL as it walks the steps, so engine
+       spans (sql-parse / plan / exec) nest under [translate] *)
+    Obs.Span.with_ "translate" @@ fun () ->
+    match parsed with
+    | [ p ] -> Translate.eval t.db ~doc:t.name t.enc p
+    | u -> Translate.eval_union t.db ~doc:t.name t.enc u
 
   let query_ids t xpath =
     List.map (fun (r : Node_row.t) -> r.Node_row.id) (query t xpath).Translate.rows
@@ -25,43 +42,59 @@ module Store = struct
   let serialize t ~id = Reconstruct.serialize_subtree t.db ~doc:t.name t.enc ~id
 
   let query_nodes t xpath =
-    List.map (fun id -> subtree t ~id) (query_ids t xpath)
+    let ids = query_ids t xpath in
+    Obs.Span.with_ "reconstruct" (fun () ->
+        List.map (fun id -> subtree t ~id) ids)
 
   let query_values t xpath =
+    let rows = (query t xpath).Translate.rows in
+    Obs.Span.with_ "reconstruct" @@ fun () ->
     List.map
       (fun (r : Node_row.t) ->
         match r.Node_row.kind with
         | Doc_index.Elem ->
             Xmllib.Types.text_content (subtree t ~id:r.Node_row.id)
         | _ -> r.Node_row.value)
-      (query t xpath).Translate.rows
+      rows
 
   let count t xpath = List.length (query t xpath).Translate.rows
 
-  let flwor t q = Flwor.run t.db ~doc:t.name t.enc q
+  let flwor t q = op_span t "flwor" (fun () -> Flwor.run t.db ~doc:t.name t.enc q)
 
   let insert_subtree t ~parent ~pos fragment =
+    op_span t "insert_subtree" @@ fun () ->
     Update.insert_subtree t.db ~doc:t.name t.enc ~parent ~pos fragment
 
   let insert_forest t ~parent ~pos fragments =
+    op_span t "insert_forest" @@ fun () ->
     Update.insert_forest t.db ~doc:t.name t.enc ~parent ~pos fragments
 
   let append_child t ~parent fragment =
+    op_span t "append_child" @@ fun () ->
     Update.append_child t.db ~doc:t.name t.enc ~parent fragment
 
-  let delete_subtree t ~id = Update.delete_subtree t.db ~doc:t.name t.enc ~id
+  let delete_subtree t ~id =
+    op_span t "delete_subtree" @@ fun () ->
+    Update.delete_subtree t.db ~doc:t.name t.enc ~id
 
   let move_subtree t ~id ~parent ~pos =
+    op_span t "move_subtree" @@ fun () ->
     Update.move_subtree t.db ~doc:t.name t.enc ~id ~parent ~pos
 
   let replace_subtree t ~id fragment =
+    op_span t "replace_subtree" @@ fun () ->
     Update.replace_subtree t.db ~doc:t.name t.enc ~id fragment
-  let set_text t ~id value = Update.set_text t.db ~doc:t.name t.enc ~id value
+
+  let set_text t ~id value =
+    op_span t "set_text" @@ fun () ->
+    Update.set_text t.db ~doc:t.name t.enc ~id value
 
   let set_attribute t ~id ~name ~value =
+    op_span t "set_attribute" @@ fun () ->
     Update.set_attribute t.db ~doc:t.name t.enc ~id ~name ~value
 
   let remove_attribute t ~id ~name =
+    op_span t "remove_attribute" @@ fun () ->
     Update.remove_attribute t.db ~doc:t.name t.enc ~id ~name
 
   let atomically t f = Reldb.Db.with_transaction t.db f

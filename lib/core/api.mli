@@ -6,6 +6,24 @@
       let store = Api.Store.create db ~name:"books" Encoding.Dewey_enc doc in
       let titles = Api.Store.query_values store "/catalog/book[2]/title" in
       ...
+    ]}
+
+    {2 Tracing}
+
+    When {!Obs.enabled} (the default), every entry point below runs under an
+    {!Obs.Span}: queries open a [query] span (attributes [xpath] and
+    [encoding]) with [xpath-parse] / [translate] / [reconstruct] children,
+    loading opens [shred], and each update opens a span named after the
+    operation (e.g. [insert_subtree]) whose renumbering statements nest
+    under [renumber] spans. Engine-level spans ([sql-parse] / [plan] /
+    [exec]) from {!Reldb.Db.exec} nest inside whichever phase issued the
+    statement. Capture a trace with {!Obs.Span.collect}:
+
+    {[
+      let nodes, spans =
+        Obs.Span.collect (fun () -> Api.Store.query_nodes store xpath)
+      in
+      print_string (Obs.Span.to_string spans)
     ]} *)
 
 module Store : sig
@@ -41,9 +59,10 @@ module Store : sig
   (** Node ids in document order. *)
 
   val query_nodes : t -> string -> Xmllib.Types.node list
-  (** Result subtrees, reconstructed (attribute results are rendered as
-      single-attribute elements named after their owner is unknown — they
-      raise [Invalid_argument]; use {!query_values} for attributes). *)
+  (** Result subtrees, reconstructed. Attribute results cannot be rebuilt
+      as standalone subtrees — {!Reconstruct.subtree} raises
+      [Invalid_argument] for them — so use {!query_values} when the XPath
+      selects attributes. *)
 
   val query_values : t -> string -> string list
   (** XPath string-values of the result nodes. *)

@@ -64,20 +64,26 @@ let row_of_record enc ~gap_orders (r : Doc_index.record) =
         |]
 
 let shred ?gap db ~doc enc document =
-  let idx = Doc_index.build document in
-  Encoding.create_tables db ~doc enc;
-  let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
-  let gap_orders =
-    match enc with
-    | Encoding.Global -> Some (interval_numbering idx ~gap:1)
-    | Encoding.Global_gap ->
-        Some (interval_numbering idx ~gap:(Option.value gap ~default:Encoding.default_gap))
-    | Encoding.Local | Encoding.Dewey_enc | Encoding.Dewey_caret -> None
-  in
-  Array.iter
-    (fun r -> ignore (Reldb.Table.insert table (row_of_record enc ~gap_orders r)))
-    (Doc_index.records idx);
-  idx
+  Obs.Span.with_ "shred"
+    ~attrs:[ ("doc", doc); ("encoding", Encoding.name enc) ]
+    (fun () ->
+      let idx = Doc_index.build document in
+      Encoding.create_tables db ~doc enc;
+      let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
+      let gap_orders =
+        match enc with
+        | Encoding.Global -> Some (interval_numbering idx ~gap:1)
+        | Encoding.Global_gap ->
+            Some
+              (interval_numbering idx
+                 ~gap:(Option.value gap ~default:Encoding.default_gap))
+        | Encoding.Local | Encoding.Dewey_enc | Encoding.Dewey_caret -> None
+      in
+      Array.iter
+        (fun r ->
+          ignore (Reldb.Table.insert table (row_of_record enc ~gap_orders r)))
+        (Doc_index.records idx);
+      idx)
 
 (* ------------------------------------------------------------------ *)
 (* Streaming load                                                      *)
@@ -92,6 +98,9 @@ type frame = {
 }
 
 let shred_stream ?gap db ~doc enc src =
+ Obs.Span.with_ "shred"
+   ~attrs:[ ("doc", doc); ("encoding", Encoding.name enc); ("mode", "stream") ]
+ @@ fun () ->
   Encoding.create_tables db ~doc enc;
   let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
   let gap =

@@ -31,6 +31,10 @@ let query state sql =
   state.st <- { state.st with statements = state.st.statements + 1 };
   Reldb.Db.query state.db sql
 
+(* order-maintenance statements run under a [renumber] span so update-path
+   phase breakdowns separate renumbering cost from row insertion *)
+let renumber state sql = Obs.Span.with_ "renumber" (fun () -> exec state sql)
+
 let fetch_node state id =
   let sql =
     Printf.sprintf "SELECT %s FROM %s e WHERE e.id = %d"
@@ -142,7 +146,7 @@ let local_insert state b fragments =
   in
   (if b.pos <= List.length b.siblings then begin
      let shifted =
-       exec state
+       renumber state
          (Printf.sprintf
             "UPDATE %s SET l_order = l_order + %d WHERE parent = %d AND \
              l_order >= %d"
@@ -222,12 +226,12 @@ let global_insert state b fragments ~gapped =
          gapped, shift by gap-sized strides to restore headroom. *)
       let stride = if gapped then need * Encoding.default_gap else need in
       let shifted1 =
-        exec state
+        renumber state
           (Printf.sprintf "UPDATE %s SET g_order = g_order + %d WHERE g_order >= %d"
              state.tname stride hi)
       in
       let shifted2 =
-        exec state
+        renumber state
           (Printf.sprintf "UPDATE %s SET g_end = g_end + %d WHERE g_end >= %d"
              state.tname stride hi)
       in
@@ -268,6 +272,7 @@ let parent_dewey (b : boundary) =
 (* move a whole subtree to a new path prefix, one UPDATE per row, like the
    middle tier must (the new prefix is computed outside SQL) *)
 let rewrite_subtree_paths state ~old_path ~new_path =
+  Obs.Span.with_ "renumber" ~attrs:[ ("op", "rewrite-paths") ] @@ fun () ->
   let old_enc = Dewey.encode old_path in
   let new_enc = Dewey.encode new_path in
   let rows =
@@ -554,7 +559,7 @@ let delete_subtree db ~doc enc ~id =
         in
         let parent = Option.get row.Node_row.parent in
         let shifted =
-          exec state
+          renumber state
             (Printf.sprintf
                "UPDATE %s SET l_order = l_order - 1 WHERE parent = %d AND \
                 l_order > %d"
@@ -632,7 +637,7 @@ let set_attribute db ~doc enc ~id ~name ~value =
       | Encoding.Local ->
           (* keep ranks dense at -m..-1: shift the old ones down *)
           let shifted =
-            exec state
+            renumber state
               (Printf.sprintf
                  "UPDATE %s SET l_order = l_order - 1 WHERE parent = %d AND \
                   kind = 2"
@@ -653,13 +658,13 @@ let set_attribute db ~doc enc ~id ~name ~value =
                 match row.Node_row.ord with Node_row.Og (_, e) -> e | _ -> 0)
           in
           let shifted1 =
-            exec state
+            renumber state
               (Printf.sprintf
                  "UPDATE %s SET g_order = g_order + 2 WHERE g_order >= %d"
                  state.tname hi)
           in
           let shifted2 =
-            exec state
+            renumber state
               (Printf.sprintf "UPDATE %s SET g_end = g_end + 2 WHERE g_end >= %d"
                  state.tname hi)
           in
@@ -709,7 +714,7 @@ let remove_attribute db ~doc enc ~id ~name =
       (match (enc, victim.Node_row.ord) with
       | Encoding.Local, Node_row.Ol pos ->
           let shifted =
-            exec state
+            renumber state
               (Printf.sprintf
                  "UPDATE %s SET l_order = l_order + 1 WHERE parent = %d AND \
                   kind = 2 AND l_order < %d"

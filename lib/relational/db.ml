@@ -1,4 +1,11 @@
-type t = { cat : Catalog.t; mutable txn : bool }
+type t = {
+  cat : Catalog.t;
+  mutable txn : bool;
+  mutable slow_ms : float option;  (* slow-query log threshold *)
+  mutable slow_log : (float * string) list;  (* newest first, capped *)
+}
+
+let slow_log_cap = 32
 
 type result =
   | Rows of { schema : Schema.t; tuples : Tuple.t list }
@@ -8,7 +15,12 @@ exception Sql_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
 
-let create () = { cat = Catalog.create (); txn = false }
+let create () =
+  { cat = Catalog.create (); txn = false; slow_ms = None; slow_log = [] }
+
+let set_slow_query_threshold t ms = t.slow_ms <- ms
+let slow_queries t = t.slow_log
+let clear_slow_queries t = t.slow_log <- []
 
 let in_transaction t = t.txn
 
@@ -43,6 +55,14 @@ let table t name =
   match Catalog.find_table t.cat name with
   | Some tbl -> tbl
   | None -> fail "no such table %s" name
+
+let rows_read t =
+  List.fold_left (fun acc tbl -> acc + Table.rows_read tbl) 0 (Catalog.tables t.cat)
+
+let rows_written t =
+  List.fold_left (fun acc tbl -> acc + Table.rows_written tbl) 0 (Catalog.tables t.cat)
+
+let reset_counters t = List.iter Table.reset_counters (Catalog.tables t.cat)
 
 (* constant folding for INSERT value lists *)
 let rec const_eval (e : Sql_ast.sexpr) : Value.t =
@@ -189,32 +209,38 @@ let do_create_index t ~name ~table:tname ~columns ~unique =
 let plan_of_select t q =
   try Planner.plan_select t.cat q with Planner.Plan_error m -> fail "%s" m
 
-let exec t sql =
-  let stmt =
-    try Sql_parser.parse sql with Sql_parser.Parse_error m -> fail "%s" m
+let stmt_kind : Sql_ast.stmt -> string = function
+  | Sql_ast.Select _ | Sql_ast.Union_all _ -> "select"
+  | Sql_ast.Insert _ -> "insert"
+  | Sql_ast.Update _ -> "update"
+  | Sql_ast.Delete _ -> "delete"
+  | Sql_ast.Create_table _ | Sql_ast.Create_index _ | Sql_ast.Drop_table _ ->
+      "ddl"
+  | Sql_ast.Begin_txn | Sql_ast.Commit_txn | Sql_ast.Rollback_txn -> "txn"
+
+let union_plan t qs =
+  let plans = List.map (plan_of_select t) qs in
+  let arities = List.map (fun p -> Schema.arity (Plan.schema_of p)) plans in
+  (match arities with
+  | a :: rest when List.exists (fun b -> b <> a) rest ->
+      fail "UNION ALL branches have different arities"
+  | _ -> ());
+  Plan.Union_all plans
+
+let run_select plan =
+  let tuples =
+    Obs.Span.with_ "exec" (fun () ->
+        try Exec.run_list plan
+        with Expr.Eval_error m | Exec.Exec_error m -> fail "%s" m)
   in
+  Rows { schema = Plan.schema_of plan; tuples }
+
+let exec_stmt t stmt =
   match stmt with
   | Sql_ast.Select q ->
-      let plan = plan_of_select t q in
-      let tuples =
-        try Exec.run_list plan
-        with
-        | Expr.Eval_error m | Exec.Exec_error m -> fail "%s" m
-      in
-      Rows { schema = Plan.schema_of plan; tuples }
+      run_select (Obs.Span.with_ "plan" (fun () -> plan_of_select t q))
   | Sql_ast.Union_all qs ->
-      let plans = List.map (plan_of_select t) qs in
-      let arities = List.map (fun p -> Schema.arity (Plan.schema_of p)) plans in
-      (match arities with
-      | a :: rest when List.exists (fun b -> b <> a) rest ->
-          fail "UNION ALL branches have different arities"
-      | _ -> ());
-      let plan = Plan.Union_all plans in
-      let tuples =
-        try Exec.run_list plan
-        with Expr.Eval_error m | Exec.Exec_error m -> fail "%s" m
-      in
-      Rows { schema = Plan.schema_of plan; tuples }
+      run_select (Obs.Span.with_ "plan" (fun () -> union_plan t qs))
   | Sql_ast.Insert { table; columns; values } ->
       do_insert t ~table ~columns ~values
   | Sql_ast.Update { table; sets; where } -> do_update t ~table ~sets ~where
@@ -238,6 +264,28 @@ let exec t sql =
       rollback t;
       Affected 0
 
+let parse_stmt sql =
+  try Sql_parser.parse sql with Sql_parser.Parse_error m -> fail "%s" m
+
+let exec t sql =
+  if not (Obs.enabled ()) then exec_stmt t (parse_stmt sql)
+  else begin
+    let t0 = Obs.Clock.now_ns () in
+    let stmt = Obs.Span.with_ "sql-parse" (fun () -> parse_stmt sql) in
+    let result = exec_stmt t stmt in
+    let ms = Obs.Clock.since_ms t0 in
+    Obs.incr "db.statements";
+    Obs.observe ("db.exec." ^ stmt_kind stmt) ms;
+    (match t.slow_ms with
+    | Some threshold when ms >= threshold ->
+        let log = (ms, sql) :: t.slow_log in
+        t.slow_log <-
+          (if List.length log > slow_log_cap then List.filteri (fun i _ -> i < slow_log_cap) log
+           else log)
+    | _ -> ());
+    result
+  end
+
 let query t sql =
   match exec t sql with
   | Rows { tuples; _ } -> tuples
@@ -255,6 +303,24 @@ let explain t sql =
       Format.asprintf "%a" Plan.pp
         (Plan.Union_all (List.map (plan_of_select t) qs))
   | _ -> fail "EXPLAIN supports only SELECT"
+  | exception Sql_parser.Parse_error m -> fail "%s" m
+
+let explain_analyze t sql =
+  let analyze plan =
+    let read0 = rows_read t in
+    let t0 = Obs.Clock.now_ns () in
+    let tuples, prof =
+      try Exec.run_profiled plan
+      with Expr.Eval_error m | Exec.Exec_error m -> fail "%s" m
+    in
+    let total_ms = Obs.Clock.since_ms t0 in
+    Format.asprintf "%a(total: %d rows in %.3f ms; %d logical rows read)"
+      Exec.pp_prof prof (List.length tuples) total_ms (rows_read t - read0)
+  in
+  match Sql_parser.parse sql with
+  | Sql_ast.Select q -> analyze (plan_of_select t q)
+  | Sql_ast.Union_all qs -> analyze (union_plan t qs)
+  | _ -> fail "EXPLAIN ANALYZE supports only SELECT"
   | exception Sql_parser.Parse_error m -> fail "%s" m
 
 let render = function
@@ -395,11 +461,3 @@ let restore_from_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> restore (really_input_string ic (in_channel_length ic)))
-
-let rows_read t =
-  List.fold_left (fun acc tbl -> acc + Table.rows_read tbl) 0 (Catalog.tables t.cat)
-
-let rows_written t =
-  List.fold_left (fun acc tbl -> acc + Table.rows_written tbl) 0 (Catalog.tables t.cat)
-
-let reset_counters t = List.iter Table.reset_counters (Catalog.tables t.cat)

@@ -30,6 +30,13 @@ val exec_script : t -> string list -> unit
 val explain : t -> string -> string
 (** The physical plan chosen for a SELECT, rendered as an indented tree. *)
 
+val explain_analyze : t -> string -> string
+(** Execute the SELECT with every plan operator instrumented and render the
+    physical plan annotated with {e actual} row counts, loop counts and
+    elapsed time per operator, plus a total line with the logical rows read
+    (see {!rows_read}). Same tree shape and operator labels as {!explain}.
+    @raise Sql_error as {!exec}; non-SELECT statements are rejected. *)
+
 val table : t -> string -> Table.t
 (** Direct access to a table (bulk-load paths bypass the SQL layer, as
     loaders do in real systems). @raise Sql_error if absent. *)
@@ -75,3 +82,22 @@ val restore_from_file : string -> t
 val rows_read : t -> int
 val rows_written : t -> int
 val reset_counters : t -> unit
+
+(** {2 Observability}
+
+    When [Obs.enabled ()], {!exec} times every statement on the monotonic
+    clock, recording a per-statement-kind latency histogram
+    ([db.exec.select], [db.exec.insert], [db.exec.update], [db.exec.delete],
+    [db.exec.ddl], [db.exec.txn]) and a [db.statements] counter in the
+    global {!Obs} registry, and opens [sql-parse] / [plan] / [exec] spans so
+    engine time nests under whatever higher-level span is active. *)
+
+val set_slow_query_threshold : t -> float option -> unit
+(** Statements at least this many milliseconds are appended to the
+    slow-query log ([None], the default, disables logging). *)
+
+val slow_queries : t -> (float * string) list
+(** [(elapsed ms, SQL text)] of logged slow statements, newest first (the
+    log keeps the most recent 32). *)
+
+val clear_slow_queries : t -> unit

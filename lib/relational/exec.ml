@@ -72,7 +72,11 @@ let agg_expr = function
   | Plan.Count_star -> None
   | Plan.Count e | Plan.Sum e | Plan.Min e | Plan.Max e | Plan.Avg e -> Some e
 
-let rec run (p : Plan.t) : Tuple.t Seq.t =
+(* The evaluator is parametric in a per-node wrapper so the same operator
+   implementations serve both the plain path (identity wrapper) and EXPLAIN
+   ANALYZE (a row-counting, pull-timing wrapper around every operator). *)
+let rec eval ~wrap (p : Plan.t) : Tuple.t Seq.t =
+  let run c = wrap c (eval ~wrap c) in
   match p with
   | Plan.Seq_scan t -> Seq.map snd (Table.scan t)
   | Plan.Index_scan { table; index; lo; hi; reverse } ->
@@ -239,6 +243,72 @@ let rec run (p : Plan.t) : Tuple.t Seq.t =
   | Plan.Union_all branches ->
       Seq.concat_map run (List.to_seq branches)
 
+let id_wrap _ s = s
+let run p = eval ~wrap:id_wrap p
 let run_list p = List.of_seq (run p)
 
 let row_count p = Seq.fold_left (fun acc _ -> acc + 1) 0 (run p)
+
+(* ---- instrumented execution (EXPLAIN ANALYZE) ---------------------- *)
+
+type prof = {
+  prof_label : string;
+  prof_children : prof list;
+  mutable prof_rows : int;
+  mutable prof_loops : int;
+  mutable prof_ns : int64;
+}
+
+(* Time every pull through the operator and count the rows it produces.
+   Pulls cascade into children, so recorded times are inclusive of the
+   subtree below the operator — the convention EXPLAIN ANALYZE uses. *)
+let instrument st (s : Tuple.t Seq.t) : Tuple.t Seq.t =
+  let rec go s () =
+    let t0 = Obs.Clock.now_ns () in
+    let node = s () in
+    st.prof_ns <- Int64.add st.prof_ns (Int64.sub (Obs.Clock.now_ns ()) t0);
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) ->
+        st.prof_rows <- st.prof_rows + 1;
+        Seq.Cons (x, go rest)
+  in
+  fun () ->
+    st.prof_loops <- st.prof_loops + 1;
+    go s ()
+
+let run_profiled (p : Plan.t) : Tuple.t list * prof =
+  (* stats are keyed by the plan node's physical identity: structurally
+     equal nodes (a self-join's two scans) must keep separate counters *)
+  let assoc = ref [] in
+  let rec build p =
+    let children = List.map build (Plan.children p) in
+    let node =
+      {
+        prof_label = Plan.label p;
+        prof_children = children;
+        prof_rows = 0;
+        prof_loops = 0;
+        prof_ns = 0L;
+      }
+    in
+    assoc := (Obj.repr p, node) :: !assoc;
+    node
+  in
+  let root = build p in
+  let wrap p s =
+    match List.assq_opt (Obj.repr p) !assoc with
+    | None -> s
+    | Some st -> instrument st s
+  in
+  let tuples = List.of_seq (wrap p (eval ~wrap p)) in
+  (tuples, root)
+
+let rec pp_prof_indent ppf (level, pr) =
+  Format.fprintf ppf "%s%s (actual rows=%d loops=%d time=%.3f ms)@."
+    (String.make (level * 2) ' ')
+    pr.prof_label pr.prof_rows pr.prof_loops
+    (Int64.to_float pr.prof_ns /. 1e6);
+  List.iter (fun c -> pp_prof_indent ppf (level + 1, c)) pr.prof_children
+
+let pp_prof ppf pr = pp_prof_indent ppf (0, pr)

@@ -112,64 +112,62 @@ let bound_str = function
   | Btree.Incl k -> "[" ^ Tuple.to_string k
   | Btree.Excl k -> "(" ^ Tuple.to_string k
 
-let rec pp_indent ppf (level, p) =
-  let pad = String.make (level * 2) ' ' in
-  let child c = pp_indent ppf (level + 1, c) in
-  match p with
-  | Seq_scan t -> Format.fprintf ppf "%sSeqScan %s@." pad (Table.name t)
+let label = function
+  | Seq_scan t -> "SeqScan " ^ Table.name t
   | Index_scan { table; index; lo; hi; reverse } ->
-      Format.fprintf ppf "%sIndexScan %s.%s %s .. %s%s@." pad (Table.name table)
+      Printf.sprintf "IndexScan %s.%s %s .. %s%s" (Table.name table)
         index.Table.idx_name (bound_str lo) (bound_str hi)
         (if reverse then " DESC" else "")
-  | Filter (e, p) ->
-      Format.fprintf ppf "%sFilter %a@." pad Expr.pp e;
-      child p
-  | Project (cols, p) ->
-      Format.fprintf ppf "%sProject [%s]@." pad
-        (String.concat ", " (Array.to_list (Array.map snd cols)));
-      child p
-  | Nl_join { outer; inner; pred } ->
-      Format.fprintf ppf "%sNestedLoopJoin%s@." pad
+  | Filter (e, _) -> Format.asprintf "Filter %a" Expr.pp e
+  | Project (cols, _) ->
+      Printf.sprintf "Project [%s]"
+        (String.concat ", " (Array.to_list (Array.map snd cols)))
+  | Nl_join { pred; _ } ->
+      Printf.sprintf "NestedLoopJoin%s"
         (match pred with
         | None -> ""
-        | Some e -> Format.asprintf " on %a" Expr.pp e);
-      child outer;
-      child inner
-  | Hash_join { left; right; left_key; right_key; _ } ->
-      Format.fprintf ppf "%sHashJoin build(%s) probe(%s)@." pad
+        | Some e -> Format.asprintf " on %a" Expr.pp e)
+  | Hash_join { left_key; right_key; _ } ->
+      Printf.sprintf "HashJoin build(%s) probe(%s)"
         (String.concat "," (Array.to_list (Array.map string_of_int left_key)))
-        (String.concat "," (Array.to_list (Array.map string_of_int right_key)));
-      child left;
-      child right
-  | Merge_join { left; right; _ } ->
-      Format.fprintf ppf "%sMergeJoin@." pad;
-      child left;
-      child right
-  | Sort { input; keys } ->
-      Format.fprintf ppf "%sSort [%s]@." pad
+        (String.concat "," (Array.to_list (Array.map string_of_int right_key)))
+  | Merge_join _ -> "MergeJoin"
+  | Sort { keys; _ } ->
+      Printf.sprintf "Sort [%s]"
         (String.concat ", "
            (List.map
               (fun (e, o) ->
                 Format.asprintf "%a %s" Expr.pp e
                   (match o with Asc -> "ASC" | Desc -> "DESC"))
-              keys));
-      child input
-  | Distinct p ->
-      Format.fprintf ppf "%sDistinct@." pad;
-      child p
-  | Aggregate { input; group_by; aggs } ->
-      Format.fprintf ppf "%sAggregate groups=[%s] aggs=[%s]@." pad
+              keys))
+  | Distinct _ -> "Distinct"
+  | Aggregate { group_by; aggs; _ } ->
+      Printf.sprintf "Aggregate groups=[%s] aggs=[%s]"
         (String.concat ", " (Array.to_list (Array.map snd group_by)))
         (String.concat ", "
-           (Array.to_list (Array.map (fun (a, _) -> agg_name a) aggs)));
-      child input
-  | Limit { input; limit; offset } ->
-      Format.fprintf ppf "%sLimit %s offset %d@." pad
+           (Array.to_list (Array.map (fun (a, _) -> agg_name a) aggs)))
+  | Limit { limit; offset; _ } ->
+      Printf.sprintf "Limit %s offset %d"
         (match limit with None -> "ALL" | Some n -> string_of_int n)
-        offset;
-      child input
-  | Union_all branches ->
-      Format.fprintf ppf "%sUnionAll@." pad;
-      List.iter child branches
+        offset
+  | Union_all _ -> "UnionAll"
+
+let children = function
+  | Seq_scan _ | Index_scan _ -> []
+  | Filter (_, p)
+  | Project (_, p)
+  | Sort { input = p; _ }
+  | Distinct p
+  | Aggregate { input = p; _ }
+  | Limit { input = p; _ } ->
+      [ p ]
+  | Nl_join { outer; inner; _ } -> [ outer; inner ]
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+      [ left; right ]
+  | Union_all branches -> branches
+
+let rec pp_indent ppf (level, p) =
+  Format.fprintf ppf "%s%s@." (String.make (level * 2) ' ') (label p);
+  List.iter (fun c -> pp_indent ppf (level + 1, c)) (children p)
 
 let pp ppf p = pp_indent ppf (0, p)

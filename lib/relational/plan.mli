@@ -52,5 +52,12 @@ val schema_of : t -> Schema.t
 (** Output schema of a plan. Column types for computed expressions are
     approximated (TEXT for concatenations, INT for counts, etc.). *)
 
+val label : t -> string
+(** One-line description of the root operator (no children) — the node text
+    {!pp} indents, shared with [EXPLAIN ANALYZE] annotation. *)
+
+val children : t -> t list
+(** Direct child operators, in {!pp} display order. *)
+
 val pp : Format.formatter -> t -> unit
 (** Indented plan tree, EXPLAIN-style. *)

@@ -7,6 +7,7 @@ let () =
       Test_core_units.tests;
       Test_sql.tests;
       Test_reldb_units.tests;
+      Test_obs.tests;
       Test_dewey.tests;
       Test_doc_index.tests;
       Test_xpath.tests;
