@@ -1,6 +1,6 @@
 OXQ = dune exec --no-print-directory bin/oxq.exe --
 
-.PHONY: all build test check bench experiments clean
+.PHONY: all build test lint check bench experiments clean
 
 all: build
 
@@ -10,9 +10,15 @@ build:
 test:
 	dune runtest
 
+# static analysis smoke test: translated queries must lint clean and a
+# hand-written SQL statement goes through the same rules.
+lint:
+	$(OXQ) lint '/catalog/book[author]/title'
+	$(OXQ) lint --sql 'SELECT a.id FROM doc_global a, doc_global b WHERE a.parent = b.id'
+
 # build + tier-1 tests + CLI smoke test over the quickstart catalog.
 # Run this before recording a change in CHANGES.md.
-check: build test
+check: build test lint
 	$(OXQ) stats examples/catalog.xml -e dewey
 	$(OXQ) query examples/catalog.xml '/catalog/book[1]/title' --trace
 	@echo "check: OK"

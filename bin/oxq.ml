@@ -227,6 +227,172 @@ let dump_cmd =
           (reload it by passing the .sql file to query/sql/tables).")
     Cmdliner.Term.(const run $ encoding $ file $ out)
 
+(* ------------------------------------------------------------------ *)
+(* Static analysis (oxq lint)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A small document shredded under every encoding gives the linter real
+   schemas and indexes to check against (unsargable, redundant-distinct and
+   plan rules are catalog-aware). *)
+let lint_db () =
+  let doc =
+    Xmllib.Parser.parse_document
+      "<doc><item k=\"1\">x</item><item k=\"2\">y</item></doc>"
+  in
+  let db = Reldb.Db.create () in
+  List.iter
+    (fun enc -> ignore (O.Api.Store.create db ~name:"doc" enc doc))
+    O.Encoding.all;
+  db
+
+let print_findings indent fs =
+  List.iter
+    (fun f -> Printf.printf "%s%s\n" indent (Analysis.Finding.to_string f))
+    fs
+
+let lint_sql db stmt_text =
+  let catalog = Reldb.Db.catalog db in
+  match Reldb.Sql_parser.parse stmt_text with
+  | exception Reldb.Sql_parser.Parse_error m ->
+      [ Analysis.Finding.error "parse" "statement does not parse: %s" m ]
+  | stmt ->
+      let lint = Analysis.Lint.lint_stmt ~catalog stmt in
+      let plan =
+        match stmt with
+        | Reldb.Sql_ast.Select sel -> (
+            match Reldb.Planner.plan_select catalog sel with
+            | exception Reldb.Planner.Plan_error _ -> []
+            | plan -> Analysis.Plan_lint.lint_plan plan)
+        | _ -> []
+      in
+      Analysis.Finding.sort (lint @ plan)
+
+let lint_xpath db ~explicit_enc encodings q =
+  let catalog = Reldb.Db.catalog db in
+  let paths = O.Xpath_parser.parse_union q in
+  let any_error = ref false in
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun path ->
+          Printf.printf "-- %s: %s\n" (O.Encoding.name enc)
+            (O.Xpath_ast.to_string path);
+          let findings =
+            if O.Translate_sql.eligible enc path then begin
+              let sql, meta = O.Translate_sql.translate_meta ~doc:"doc" enc path in
+              match Reldb.Sql_parser.parse sql with
+              | exception Reldb.Sql_parser.Parse_error m ->
+                  [
+                    Analysis.Finding.error "parse-back"
+                      "translated SQL does not parse back: %s" m;
+                  ]
+              | stmt ->
+                  let lint = Analysis.Lint.lint_stmt ~catalog stmt in
+                  let order = Analysis.Order_check.check_stmt enc ~meta stmt in
+                  let plan =
+                    match stmt with
+                    | Reldb.Sql_ast.Select sel ->
+                        Analysis.Plan_lint.lint_plan
+                          (Reldb.Planner.plan_select catalog sel)
+                    | _ -> []
+                  in
+                  Analysis.Finding.sort (lint @ order @ plan)
+            end
+            else begin
+              (* outside the fragment: unsupported axes are contract
+                 violations when the user pinned the encoding, otherwise
+                 informational (the other encodings may still serve it) *)
+              let severity =
+                if explicit_enc then Analysis.Finding.Error
+                else Analysis.Finding.Info
+              in
+              match Analysis.Order_check.check_axes ~severity enc path with
+              | [] ->
+                  let reason =
+                    try
+                      ignore (O.Translate_sql.translate ~doc:"doc" enc path);
+                      "outside the single-statement fragment"
+                    with O.Translate_sql.Not_single_statement m -> m
+                  in
+                  [
+                    Analysis.Finding.info "fragment"
+                      "no single-statement form: %s" reason;
+                  ]
+              | fs -> fs
+            end
+          in
+          if findings = [] then print_endline "  clean"
+          else begin
+            print_findings "  " findings;
+            if Analysis.Finding.has_errors findings then any_error := true
+          end)
+        paths)
+    encodings;
+  !any_error
+
+let lint_cmd =
+  let xpath_opt =
+    Cmdliner.Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"XPATH"
+          ~doc:"XPath query: lint its translation under each encoding.")
+  in
+  let sql_opt =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"STMT"
+          ~doc:"Lint a raw SQL statement instead of an XPath translation.")
+  in
+  let enc_opt =
+    Cmdliner.Arg.(
+      value
+      & opt (some enc_arg) None
+      & info [ "e"; "encoding" ] ~docv:"ENC"
+          ~doc:
+            "Restrict XPath linting to one encoding (default: all \
+             encodings).")
+  in
+  let run enc_opt xpath_opt sql_opt =
+    try
+      match (xpath_opt, sql_opt) with
+      | None, None | Some _, Some _ ->
+          prerr_endline "error: pass exactly one of XPATH or --sql STMT";
+          2
+      | None, Some stmt_text ->
+          let db = lint_db () in
+          let findings = lint_sql db stmt_text in
+          if findings = [] then begin
+            print_endline "clean";
+            0
+          end
+          else begin
+            print_findings "" findings;
+            if Analysis.Finding.has_errors findings then 1 else 0
+          end
+      | Some q, None ->
+          let db = lint_db () in
+          let encodings =
+            match enc_opt with Some e -> [ e ] | None -> O.Encoding.all
+          in
+          let any_error =
+            lint_xpath db ~explicit_enc:(enc_opt <> None) encodings q
+          in
+          if any_error then 1 else 0
+    with
+    | O.Xpath_parser.Parse_error m | Reldb.Db.Sql_error m ->
+        Printf.eprintf "error: %s\n" m;
+        2
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "lint"
+       ~doc:
+         "Statically analyze a query: SQL lint rules, order-correctness \
+          against each encoding's document-order contract, and plan \
+          inspection. Exit 1 when any error-severity finding fires.")
+    Cmdliner.Term.(const run $ enc_opt $ xpath_opt $ sql_opt)
+
 let () =
   let info =
     Cmdliner.Cmd.info "oxq" ~version:"1.0.0"
@@ -235,4 +401,4 @@ let () =
   exit
     (Cmdliner.Cmd.eval'
        (Cmdliner.Cmd.group info
-          [ query_cmd; sql_cmd; stats_cmd; tables_cmd; dump_cmd; flwor_cmd; validate_cmd ]))
+          [ query_cmd; sql_cmd; stats_cmd; tables_cmd; dump_cmd; flwor_cmd; validate_cmd; lint_cmd ]))

@@ -1,0 +1,25 @@
+type severity = Error | Warning | Info
+
+type t = { severity : severity; rule : string; message : string }
+
+let make severity rule fmt =
+  Printf.ksprintf (fun message -> { severity; rule; message }) fmt
+
+let error rule fmt = make Error rule fmt
+let warning rule fmt = make Warning rule fmt
+let info rule fmt = make Info rule fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_string f =
+  Printf.sprintf "%s[%s] %s" (severity_name f.severity) f.rule f.message
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort fs =
+  List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) fs
+
+let has_errors fs = List.exists (fun f -> f.severity = Error) fs

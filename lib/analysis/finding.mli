@@ -1,0 +1,27 @@
+(** Analyzer findings: a severity, the rule that fired, and a message.
+
+    [Error] means the statement is wrong (order contract violated, result
+    would be incorrect); [Warning] means it is suspicious or wasteful
+    (contradiction, cartesian product, unsargable predicate); [Info] is a
+    note (degenerate-but-harmless forms, documented LOCAL unorderedness). *)
+
+type severity = Error | Warning | Info
+
+type t = { severity : severity; rule : string; message : string }
+
+val error : string -> ('a, unit, string, t) format4 -> 'a
+(** [error rule fmt ...] builds an [Error] finding. *)
+
+val warning : string -> ('a, unit, string, t) format4 -> 'a
+val info : string -> ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val to_string : t -> string
+(** [severity[rule] message], the CLI line format. *)
+
+val sort : t list -> t list
+(** Stable sort, most severe first. *)
+
+val has_errors : t list -> bool

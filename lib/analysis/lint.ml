@@ -1,0 +1,457 @@
+module S = Reldb.Sql_ast
+module E = Reldb.Expr
+module V = Reldb.Value
+module Simplify = Reldb.Simplify
+
+let norm = String.lowercase_ascii
+
+(* ------------------------------------------------------------------ *)
+(* Surface-expression helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_str = function
+  | E.Eq -> "="
+  | E.Ne -> "<>"
+  | E.Lt -> "<"
+  | E.Le -> "<="
+  | E.Gt -> ">"
+  | E.Ge -> ">="
+
+let arith_str = function
+  | E.Add -> "+"
+  | E.Sub -> "-"
+  | E.Mul -> "*"
+  | E.Div -> "/"
+  | E.Mod -> "%"
+
+let rec render (e : S.sexpr) =
+  match e with
+  | S.E_const v -> V.to_sql_literal v
+  | S.E_col (Some q, n) -> q ^ "." ^ n
+  | S.E_col (None, n) -> n
+  | S.E_cmp (op, a, b) ->
+      Printf.sprintf "%s %s %s" (render a) (cmp_str op) (render b)
+  | S.E_and (a, b) -> Printf.sprintf "(%s AND %s)" (render a) (render b)
+  | S.E_or (a, b) -> Printf.sprintf "(%s OR %s)" (render a) (render b)
+  | S.E_not a -> Printf.sprintf "NOT (%s)" (render a)
+  | S.E_arith (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (render a) (arith_str op) (render b)
+  | S.E_neg a -> "-" ^ render a
+  | S.E_concat (a, b) -> Printf.sprintf "%s || %s" (render a) (render b)
+  | S.E_is_null a -> render a ^ " IS NULL"
+  | S.E_is_not_null a -> render a ^ " IS NOT NULL"
+  | S.E_like (a, p) -> Printf.sprintf "%s LIKE '%s'" (render a) p
+  | S.E_in (a, vs) ->
+      Printf.sprintf "%s IN (%s)" (render a)
+        (String.concat ", " (List.map V.to_sql_literal vs))
+  | S.E_between (a, lo, hi) ->
+      Printf.sprintf "%s BETWEEN %s AND %s" (render a) (render lo) (render hi)
+  | S.E_func (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map render args))
+  | S.E_star -> "*"
+
+let rec s_conjuncts e acc =
+  match e with
+  | S.E_and (a, b) -> s_conjuncts a (s_conjuncts b acc)
+  | e -> e :: acc
+
+let rec s_has_col = function
+  | S.E_col _ -> true
+  | S.E_const _ | S.E_star -> false
+  | S.E_cmp (_, a, b)
+  | S.E_and (a, b)
+  | S.E_or (a, b)
+  | S.E_arith (_, a, b)
+  | S.E_concat (a, b) ->
+      s_has_col a || s_has_col b
+  | S.E_between (a, b, c) -> s_has_col a || s_has_col b || s_has_col c
+  | S.E_not a | S.E_neg a | S.E_is_null a | S.E_is_not_null a
+  | S.E_like (a, _)
+  | S.E_in (a, _) ->
+      s_has_col a
+  | S.E_func (_, args) -> List.exists s_has_col args
+
+let rec s_cols e acc =
+  match e with
+  | S.E_col (q, n) -> (Option.map norm q, norm n) :: acc
+  | S.E_const _ | S.E_star -> acc
+  | S.E_cmp (_, a, b)
+  | S.E_and (a, b)
+  | S.E_or (a, b)
+  | S.E_arith (_, a, b)
+  | S.E_concat (a, b) ->
+      s_cols a (s_cols b acc)
+  | S.E_between (a, b, c) -> s_cols a (s_cols b (s_cols c acc))
+  | S.E_not a | S.E_neg a | S.E_is_null a | S.E_is_not_null a
+  | S.E_like (a, _)
+  | S.E_in (a, _) ->
+      s_cols a acc
+  | S.E_func (_, args) -> List.fold_right s_cols args acc
+
+let rec walk f e =
+  f e;
+  match e with
+  | S.E_const _ | S.E_col _ | S.E_star -> ()
+  | S.E_cmp (_, a, b)
+  | S.E_and (a, b)
+  | S.E_or (a, b)
+  | S.E_arith (_, a, b)
+  | S.E_concat (a, b) ->
+      walk f a;
+      walk f b
+  | S.E_between (a, b, c) ->
+      walk f a;
+      walk f b;
+      walk f c
+  | S.E_not a | S.E_neg a | S.E_is_null a | S.E_is_not_null a
+  | S.E_like (a, _)
+  | S.E_in (a, _) ->
+      walk f a
+  | S.E_func (_, args) -> List.iter (walk f) args
+
+let const_of = function
+  | S.E_const v -> Some v
+  | S.E_neg (S.E_const (V.Int n)) -> Some (V.Int (-n))
+  | S.E_neg (S.E_const (V.Float f)) -> Some (V.Float (-.f))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Conversion to Expr for the Simplify core                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Column references are interned to positions so the interval analysis can
+   correlate conjuncts over the same column; anything it cannot model
+   (function calls, [*]) becomes a fresh opaque column — sound, just weaker. *)
+let make_converter () =
+  let tbl : (string option * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let next = ref 0 in
+  let fresh () =
+    let i = !next in
+    incr next;
+    i
+  in
+  let intern key =
+    match Hashtbl.find_opt tbl key with
+    | Some i -> i
+    | None ->
+        let i = fresh () in
+        Hashtbl.add tbl key i;
+        i
+  in
+  let rec go (e : S.sexpr) : E.t =
+    match e with
+    | S.E_const v -> E.Const v
+    | S.E_col (q, n) -> E.Col (intern (Option.map norm q, norm n))
+    | S.E_cmp (op, a, b) -> E.Cmp (op, go a, go b)
+    | S.E_and (a, b) -> E.And (go a, go b)
+    | S.E_or (a, b) -> E.Or (go a, go b)
+    | S.E_not a -> E.Not (go a)
+    | S.E_arith (op, a, b) -> E.Arith (op, go a, go b)
+    | S.E_neg a -> E.Neg (go a)
+    | S.E_concat (a, b) -> E.Concat (go a, go b)
+    | S.E_is_null a -> E.Is_null (go a)
+    | S.E_is_not_null a -> E.Is_not_null (go a)
+    | S.E_like (a, p) -> E.Like (go a, p)
+    | S.E_in (a, vs) -> E.In_list (go a, vs)
+    | S.E_between (a, lo, hi) ->
+        let a' = go a in
+        E.And (E.Cmp (E.Ge, a', go lo), E.Cmp (E.Le, a', go hi))
+    | S.E_func _ | S.E_star -> E.Col (fresh ())
+  in
+  go
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* alias resolution for a column reference: a qualifier names its FROM
+   alias; an unqualified name resolves when only one FROM table could own
+   it (trivially with one table, via the catalog schemas otherwise) *)
+let make_resolver ?catalog (from : (string * string option) list) =
+  let aliases =
+    List.map (fun (tn, al) -> norm (Option.value al ~default:tn)) from
+  in
+  fun q n ->
+    match q with
+    | Some q -> if List.mem q aliases then Some q else None
+    | None -> (
+        match from with
+        | [ (tn, al) ] -> Some (norm (Option.value al ~default:tn))
+        | _ -> (
+            match catalog with
+            | None -> None
+            | Some cat -> (
+                let owners =
+                  List.filter_map
+                    (fun (tn, al) ->
+                      match Reldb.Catalog.find_table cat tn with
+                      | None -> None
+                      | Some t ->
+                          Option.map
+                            (fun _ -> norm (Option.value al ~default:tn))
+                            (Reldb.Schema.find_opt (Reldb.Table.schema t) n))
+                    from
+                in
+                match owners with [ a ] -> Some a | _ -> None)))
+
+let lint_cartesian ~resolve (from : (string * string option) list) where add =
+  let aliases =
+    List.map (fun (tn, al) -> norm (Option.value al ~default:tn)) from
+  in
+  if List.length aliases >= 2 then begin
+    let parent = Hashtbl.create 8 in
+    List.iter (fun a -> Hashtbl.replace parent a a) aliases;
+    let rec find a =
+      let p = Hashtbl.find parent a in
+      if p = a then a
+      else begin
+        let r = find p in
+        Hashtbl.replace parent a r;
+        r
+      end
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then Hashtbl.replace parent ra rb
+    in
+    (* an atom is any predicate below the boolean connectives; every pair of
+       aliases it mentions is connected — equality or range alike, since the
+       descendant-axis joins of the translator are range joins *)
+    let rec atoms e =
+      match e with
+      | S.E_and (a, b) | S.E_or (a, b) ->
+          atoms a;
+          atoms b
+      | S.E_not a -> atoms a
+      | e -> (
+          let als =
+            List.sort_uniq compare
+              (List.filter_map (fun (q, n) -> resolve q n) (s_cols e []))
+          in
+          match als with
+          | first :: rest -> List.iter (union first) rest
+          | [] -> ())
+    in
+    Option.iter atoms where;
+    let components = List.sort_uniq compare (List.map find aliases) in
+    if List.length components > 1 then
+      let groups =
+        List.map
+          (fun root ->
+            String.concat ", " (List.filter (fun a -> find a = root) aliases))
+          components
+      in
+      add
+        (Finding.error "cartesian-product"
+           "no predicate connects FROM groups {%s}: result is a cartesian \
+            product"
+           (String.concat "} {" groups))
+  end
+
+let lint_conjunct_semantics to_e where add =
+  match where with
+  | None -> ()
+  | Some w ->
+      List.iter
+        (fun sc ->
+          match Simplify.truth_of (Simplify.fold (to_e sc)) with
+          | Simplify.True ->
+              add
+                (Finding.warning "tautology"
+                   "conjunct %s is always true and can be dropped" (render sc))
+          | _ -> ())
+        (s_conjuncts w []);
+      (match Simplify.simplify_conjuncts (E.conjuncts (to_e w)) with
+      | Simplify.Contradiction ->
+          add
+            (Finding.warning "contradiction"
+               "WHERE clause is always false: no row can satisfy it")
+      | Simplify.Conjuncts _ -> ())
+
+let lint_degenerate where add =
+  match where with
+  | None -> ()
+  | Some w ->
+      walk
+        (fun e ->
+          match e with
+          | S.E_in (a, [ v ]) ->
+              add
+                (Finding.info "degenerate-in"
+                   "IN with a single value: write %s = %s" (render a)
+                   (V.to_sql_literal v))
+          | S.E_in (a, vs) when vs <> [] ->
+              let distinct = List.sort_uniq V.compare vs in
+              if List.length distinct < List.length vs then
+                add
+                  (Finding.info "degenerate-in"
+                     "IN list of %s contains duplicate values" (render a))
+          | S.E_between (a, lo, hi) -> (
+              match (const_of lo, const_of hi) with
+              | Some l, Some h ->
+                  let c = V.compare l h in
+                  if c > 0 then
+                    add
+                      (Finding.warning "degenerate-between"
+                         "%s is always false (lower bound above upper)"
+                         (render e))
+                  else if c = 0 then
+                    add
+                      (Finding.info "degenerate-between"
+                         "%s is an equality in disguise: write %s = %s"
+                         (render e) (render a) (V.to_sql_literal l))
+              | _ -> ())
+          | _ -> ())
+        w
+
+let lint_unsargable ?catalog ~resolve (from : (string * string option) list)
+    where add =
+  match (catalog, where) with
+  | Some cat, Some w ->
+      let table_of_alias alias =
+        List.find_map
+          (fun (tn, al) ->
+            if norm (Option.value al ~default:tn) = alias then
+              Reldb.Catalog.find_table cat tn
+            else None)
+          from
+      in
+      let check_side conj wrapped other =
+        if s_has_col other then ()
+        else
+          match wrapped with
+          | S.E_col _ | S.E_const _ -> ()
+          | w when s_has_col w -> (
+              match List.sort_uniq compare (s_cols w []) with
+              | [ (q, n) ] -> (
+                  match Option.bind (resolve q n) table_of_alias with
+                  | None -> ()
+                  | Some table -> (
+                      match
+                        Reldb.Schema.find_opt (Reldb.Table.schema table) n
+                      with
+                      | None -> ()
+                      | Some pos -> (
+                          let leading idx =
+                            Array.length idx.Reldb.Table.key_cols > 0
+                            && idx.Reldb.Table.key_cols.(0) = pos
+                          in
+                          match
+                            List.find_opt leading (Reldb.Table.indexes table)
+                          with
+                          | Some idx ->
+                              add
+                                (Finding.warning "unsargable"
+                                   "%s wraps column %s of %s, so index %s \
+                                    cannot serve it; compare the bare column"
+                                   (render conj) n
+                                   (Reldb.Table.name table)
+                                   idx.Reldb.Table.idx_name)
+                          | None -> ())))
+              | _ -> ())
+          | _ -> ()
+      in
+      List.iter
+        (fun conj ->
+          match conj with
+          | S.E_cmp (_, a, b) ->
+              check_side conj a b;
+              check_side conj b a
+          | _ -> ())
+        (s_conjuncts w [])
+  | _ -> ()
+
+let lint_distinct ?catalog (sel : S.select) add =
+  if sel.S.distinct then
+    if sel.S.group_by <> [] then begin
+      let items =
+        List.filter_map
+          (function S.Item (e, _) -> Some e | S.Star -> None)
+          sel.S.items
+      in
+      if
+        List.for_all (fun g -> List.exists (fun i -> i = g) items)
+          sel.S.group_by
+      then
+        add
+          (Finding.warning "redundant-distinct"
+             "DISTINCT is redundant: every GROUP BY key is projected, so \
+              output rows are already unique")
+    end
+    else
+      match (catalog, sel.S.from) with
+      | Some cat, [ (tname, _) ] -> (
+          match Reldb.Catalog.find_table cat tname with
+          | None -> ()
+          | Some table -> (
+              let schema = Reldb.Table.schema table in
+              let star =
+                List.exists (function S.Star -> true | _ -> false) sel.S.items
+              in
+              let projected =
+                if star then
+                  List.init (Reldb.Schema.arity schema) (fun i -> i)
+                else
+                  List.filter_map
+                    (function
+                      | S.Item (S.E_col (_, n), _) ->
+                          Reldb.Schema.find_opt schema n
+                      | _ -> None)
+                    sel.S.items
+              in
+              let covered idx =
+                idx.Reldb.Table.unique
+                && Array.for_all
+                     (fun c -> List.mem c projected)
+                     idx.Reldb.Table.key_cols
+              in
+              match List.find_opt covered (Reldb.Table.indexes table) with
+              | Some idx ->
+                  add
+                    (Finding.warning "redundant-distinct"
+                       "DISTINCT is redundant: the projection covers unique \
+                        index %s of %s, so rows are already unique"
+                       idx.Reldb.Table.idx_name tname)
+              | None -> ()))
+      | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lint_select ?catalog (sel : S.select) =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  let resolve = make_resolver ?catalog sel.S.from in
+  let to_e = make_converter () in
+  lint_cartesian ~resolve sel.S.from sel.S.where add;
+  lint_conjunct_semantics to_e sel.S.where add;
+  lint_degenerate sel.S.where add;
+  lint_degenerate sel.S.having add;
+  lint_unsargable ?catalog ~resolve sel.S.from sel.S.where add;
+  lint_distinct ?catalog sel add;
+  List.rev !acc
+
+let lint_dml ?catalog ~table where =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  let from = [ (table, None) ] in
+  let resolve = make_resolver ?catalog from in
+  let to_e = make_converter () in
+  lint_conjunct_semantics to_e where add;
+  lint_degenerate where add;
+  lint_unsargable ?catalog ~resolve from where add;
+  List.rev !acc
+
+let lint_stmt ?catalog (stmt : S.stmt) =
+  let findings =
+    match stmt with
+    | S.Select sel -> lint_select ?catalog sel
+    | S.Union_all sels -> List.concat_map (lint_select ?catalog) sels
+    | S.Update { table; where; _ } -> lint_dml ?catalog ~table where
+    | S.Delete { table; where } -> lint_dml ?catalog ~table where
+    | S.Insert _ | S.Create_table _ | S.Create_index _ | S.Drop_table _
+    | S.Begin_txn | S.Commit_txn | S.Rollback_txn ->
+        []
+  in
+  Finding.sort findings

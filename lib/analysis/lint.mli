@@ -1,0 +1,29 @@
+(** SQL lint rules over the surface AST.
+
+    Rules (rule name in brackets):
+    - [cartesian-product] (error): two FROM tables with no predicate
+      connecting them — every translated path query must chain its aliases.
+    - [contradiction] (warning): the WHERE conjunction is unsatisfiable
+      (constant folding + per-column interval analysis, e.g.
+      [x > 5 AND x < 3]).
+    - [tautology] (warning): a conjunct that is always true contributes
+      nothing (e.g. [1 = 1]).
+    - [unsargable] (warning, needs a catalog): a function or arithmetic
+      expression wraps a column whose table has an index led by that column,
+      defeating index selection.
+    - [redundant-distinct] (warning): DISTINCT over output that is already
+      unique (all GROUP BY keys projected, or a unique index key fully
+      projected from a single table).
+    - [degenerate-in] (info): [IN] with one value or duplicate values.
+    - [degenerate-between] (warning/info): [BETWEEN lo AND hi] with
+      [lo > hi] (always false) or [lo = hi] (an equality in disguise). *)
+
+val lint_stmt : ?catalog:Reldb.Catalog.t -> Reldb.Sql_ast.stmt -> Finding.t list
+(** Lint a parsed statement. The catalog, when given, enables the
+    schema-aware rules (unsargable, redundant-distinct over unique indexes);
+    without it only the purely syntactic/semantic rules run. SELECT (and each
+    branch of UNION ALL), UPDATE and DELETE are analyzed; other statements
+    yield no findings. *)
+
+val render : Reldb.Sql_ast.sexpr -> string
+(** SQL-ish rendering of a surface expression, used in messages. *)

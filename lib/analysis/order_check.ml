@@ -1,0 +1,100 @@
+module O = Ordered_xml
+module S = Reldb.Sql_ast
+
+let norm = String.lowercase_ascii
+
+let expected_order_column (enc : O.Encoding.t) =
+  match enc with
+  | O.Encoding.Global | O.Encoding.Global_gap -> Some "g_order"
+  | O.Encoding.Dewey_enc | O.Encoding.Dewey_caret -> Some "path"
+  | O.Encoding.Local -> None
+
+let axis_finding severity enc ax =
+  let f : Finding.t =
+    {
+      Finding.severity;
+      rule = "axis-support";
+      message =
+        Printf.sprintf
+          "axis %s:: is outside the single-statement fragment of the %s \
+           encoding (needs interval numbering)"
+          (O.Xpath_ast.axis_name ax) (O.Encoding.name enc);
+    }
+  in
+  f
+
+let check_axes ?(severity = Finding.Error) enc path =
+  List.filter_map
+    (fun ax ->
+      if O.Translate_sql.axis_supported enc ax then None
+      else Some (axis_finding severity enc ax))
+    (O.Translate_sql.path_axes path)
+
+let check_stmt enc ~(meta : O.Translate_sql.fragment_meta) (stmt : S.stmt) =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  if meta.O.Translate_sql.fm_encoding <> enc then
+    add
+      (Finding.error "order-contract"
+         "statement was translated for %s but is being checked against %s"
+         (O.Encoding.name meta.O.Translate_sql.fm_encoding)
+         (O.Encoding.name enc));
+  List.iter
+    (fun ax ->
+      if not (O.Translate_sql.axis_supported enc ax) then
+        add (axis_finding Finding.Error enc ax))
+    meta.O.Translate_sql.fm_axes;
+  let expect = expected_order_column enc in
+  if expect <> meta.O.Translate_sql.fm_order_column then
+    add
+      (Finding.error "order-contract"
+         "translator metadata promises order column %s but the %s contract \
+          requires %s"
+         (Option.value meta.O.Translate_sql.fm_order_column ~default:"<none>")
+         (O.Encoding.name enc)
+         (Option.value expect ~default:"<none>"));
+  (match stmt with
+  | S.Select sel -> (
+      let result = norm meta.O.Translate_sql.fm_result_alias in
+      match expect with
+      | Some col -> (
+          match sel.S.order_by with
+          | [ (S.E_col (Some q, c), S.Asc) ]
+            when norm q = result && norm c = col ->
+              ()
+          | [] ->
+              add
+                (Finding.error "order-contract"
+                   "missing ORDER BY %s.%s: %s results must come back in \
+                    document order"
+                   meta.O.Translate_sql.fm_result_alias col
+                   (O.Encoding.name enc))
+          | _ ->
+              add
+                (Finding.error "order-contract"
+                   "ORDER BY clause does not match the %s document-order \
+                    contract (expected ORDER BY %s.%s ascending)"
+                   (O.Encoding.name enc) meta.O.Translate_sql.fm_result_alias
+                   col))
+      | None -> (
+          if meta.O.Translate_sql.fm_ordered then
+            add
+              (Finding.error "order-contract"
+                 "metadata claims the statement is ordered, but LOCAL has no \
+                  document-order column");
+          match sel.S.order_by with
+          | [] ->
+              add
+                (Finding.info "order-contract"
+                   "LOCAL statements return unordered results: the middle \
+                    tier must sort them into document order (paper's \
+                    documented LOCAL cost)")
+          | _ ->
+              add
+                (Finding.error "order-contract"
+                   "LOCAL encoding has no document-order column; this ORDER \
+                    BY cannot establish document order")))
+  | _ ->
+      add
+        (Finding.error "order-contract" "translated statement is not a SELECT"));
+  Finding.sort (List.rev !acc)

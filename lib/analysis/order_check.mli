@@ -1,0 +1,35 @@
+(** Order-correctness checking of translated statements.
+
+    The paper's contract: a single-statement translation must return result
+    nodes in document order when the encoding can express it — GLOBAL and
+    GLOBAL_GAP order by the result alias's [g_order], DEWEY and ORDPATH by
+    the binary [path] — and LOCAL statements are explicitly unordered (the
+    middle tier sorts, at documented cost). Axes that need interval
+    numbering ([descendant::], [following::], [ancestor::], ...) may only
+    appear under encodings that support them. This module checks a parsed
+    statement against the metadata {!Ordered_xml.Translate_sql} emits,
+    rather than re-deriving the contract from SQL text. *)
+
+val expected_order_column : Ordered_xml.Encoding.t -> string option
+(** The document-order column the encoding's translations must ORDER BY,
+    or [None] for LOCAL (no such column exists). *)
+
+val check_stmt :
+  Ordered_xml.Encoding.t ->
+  meta:Ordered_xml.Translate_sql.fragment_meta ->
+  Reldb.Sql_ast.stmt ->
+  Finding.t list
+(** Check a translated statement: it must be a SELECT whose ORDER BY is
+    exactly the encoding's document-order column on the result alias
+    (ascending), the metadata must agree with the encoding's contract, and
+    every axis the path used must be expressible under the encoding.
+    LOCAL statements get an [Info] noting the middle tier must sort. *)
+
+val check_axes :
+  ?severity:Finding.severity ->
+  Ordered_xml.Encoding.t ->
+  Ordered_xml.Xpath_ast.path ->
+  Finding.t list
+(** Axis-support check on a raw path (no translation needed): one finding
+    per axis the encoding cannot express in a single statement. Severity
+    defaults to [Error]. *)

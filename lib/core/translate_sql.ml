@@ -200,7 +200,39 @@ and gen_pred g ~ctx (p : A.predicate) =
 and gen_rel g ~ctx (path : A.path) =
   List.fold_left (fun prev step -> gen_step g ~prev step) ctx path.A.steps
 
-let translate ~doc enc (path : A.path) =
+(* ------------------------------------------------------------------ *)
+(* Fragment metadata                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type fragment_meta = {
+  fm_encoding : Encoding.t;
+  fm_table : string;
+  fm_result_alias : string;
+  fm_aliases : string list;
+  fm_ordered : bool;
+  fm_order_column : string option;
+  fm_axes : A.axis list;
+}
+
+let rec axes_of_pred (p : A.predicate) acc =
+  match p with
+  | A.P_exists path | A.P_cmp (path, _, _) -> axes_of_path path acc
+  | A.P_count (path, _, _) -> axes_of_path path acc
+  | A.P_and (a, b) | A.P_or (a, b) -> axes_of_pred a (axes_of_pred b acc)
+  | A.P_not a -> axes_of_pred a acc
+  | A.P_pos _ | A.P_last -> acc
+
+and axes_of_path (path : A.path) acc =
+  List.fold_left
+    (fun acc (s : A.step) ->
+      List.fold_left
+        (fun acc p -> axes_of_pred p acc)
+        (s.A.axis :: acc) s.A.preds)
+    acc path.A.steps
+
+let path_axes path = List.sort_uniq compare (axes_of_path path [])
+
+let translate_meta ~doc enc (path : A.path) =
   if not (eligible enc path) then
     fail
       "path is outside the single-statement fragment for the %s encoding"
@@ -231,17 +263,39 @@ let translate ~doc enc (path : A.path) =
       (List.rev_map (fun a -> Printf.sprintf "%s %s" g.tname a) g.aliases)
   in
   let where = String.concat " AND " (List.rev g.conds) in
-  let order =
+  let order_column =
     match enc with
-    | Encoding.Global | Encoding.Global_gap ->
-        Printf.sprintf " ORDER BY %s.g_order" result
-    | Encoding.Dewey_enc | Encoding.Dewey_caret ->
-        Printf.sprintf " ORDER BY %s.path" result
-    | Encoding.Local -> ""
+    | Encoding.Global | Encoding.Global_gap -> Some "g_order"
+    | Encoding.Dewey_enc | Encoding.Dewey_caret -> Some "path"
+    | Encoding.Local -> None
   in
-  Printf.sprintf "SELECT DISTINCT %s FROM %s WHERE %s%s"
-    (Node_row.select_list enc result)
-    from where order
+  let order =
+    match order_column with
+    | Some col -> Printf.sprintf " ORDER BY %s.%s" result col
+    | None -> ""
+  in
+  (* a single alias is one pass over the base table — no self-join, so no
+     duplicates to eliminate *)
+  let distinct = if List.length g.aliases > 1 then "DISTINCT " else "" in
+  let sql =
+    Printf.sprintf "SELECT %s%s FROM %s WHERE %s%s" distinct
+      (Node_row.select_list enc result)
+      from where order
+  in
+  let meta =
+    {
+      fm_encoding = enc;
+      fm_table = g.tname;
+      fm_result_alias = result;
+      fm_aliases = List.rev g.aliases;
+      fm_ordered = order_column <> None;
+      fm_order_column = order_column;
+      fm_axes = path_axes path;
+    }
+  in
+  (sql, meta)
+
+let translate ~doc enc path = fst (translate_meta ~doc enc path)
 
 let eval db ~doc enc (path : A.path) =
   let sql = translate ~doc enc path in

@@ -30,6 +30,38 @@ exception Not_single_statement of string
 val translate : doc:string -> Encoding.t -> Xpath_ast.path -> string
 (** The SQL text. @raise Not_single_statement when ineligible. *)
 
+type fragment_meta = {
+  fm_encoding : Encoding.t;  (** the encoding the statement was emitted for *)
+  fm_table : string;  (** edge-table name every alias ranges over *)
+  fm_result_alias : string;  (** the alias whose columns are selected *)
+  fm_aliases : string list;  (** all FROM aliases, in emission order *)
+  fm_ordered : bool;  (** statement carries a document-order ORDER BY *)
+  fm_order_column : string option;
+      (** the order column ([g_order], [path]) or [None] for LOCAL, whose
+          results the middle tier must sort itself *)
+  fm_axes : Xpath_ast.axis list;
+      (** every axis the path uses, including inside predicates (sorted,
+          deduplicated) — what the order checker validates against
+          {!axis_supported} *)
+}
+(** What the translator promises about an emitted statement. The static
+    analyzer checks the statement against this record rather than re-deriving
+    the contract from the SQL text. *)
+
+val translate_meta :
+  doc:string -> Encoding.t -> Xpath_ast.path -> string * fragment_meta
+(** [translate] plus the metadata contract for the emitted statement.
+    @raise Not_single_statement when ineligible. *)
+
+val axis_supported : Encoding.t -> Xpath_ast.axis -> bool
+(** Whether the encoding can express the axis inside a single unordered SQL
+    statement (document-order axes such as [following::] need interval
+    numbering — GLOBAL/GLOBAL_GAP only). *)
+
+val path_axes : Xpath_ast.path -> Xpath_ast.axis list
+(** Every axis a path uses, including inside predicates (sorted,
+    deduplicated). *)
+
 val eval :
   Reldb.Db.t -> doc:string -> Encoding.t -> Xpath_ast.path -> Translate.result
 (** Run the single statement and decode the result rows (sorting LOCAL

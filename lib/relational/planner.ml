@@ -330,7 +330,23 @@ let plan_joins env table_plans vconjuncts =
     let j =
       match List.find_opt connects !remaining with
       | Some j -> j
-      | None -> List.hd !remaining
+      | None ->
+          (* no equi-connected table left: prefer one tied to the placed set
+             by any predicate (the translator's descendant/sibling joins are
+             range joins), so the nested loop at least filters instead of
+             producing a cartesian product *)
+          let theta_connects j =
+            List.exists
+              (fun c ->
+                let ts = cols_of_tables c in
+                List.mem j ts
+                && ts <> [ j ]
+                && List.for_all (fun t -> t = j || List.mem t !used) ts)
+              !conj_remaining
+          in
+          (match List.find_opt theta_connects !remaining with
+          | Some j -> j
+          | None -> List.hd !remaining)
     in
     let jplan, jresid = List.nth table_plans j in
     let right_plan = with_filter jplan jresid in
@@ -492,6 +508,16 @@ let plan_select catalog (q : Sql_ast.select) =
         if contains_agg w then fail "aggregates are not allowed in WHERE";
         Expr.conjuncts (resolve env w)
   in
+  (* pre-planning simplification: fold constants into index-matchable form,
+     drop implied bounds, and detect unsatisfiable conjunctions — those
+     short-circuit below into a plan that never touches a table *)
+  let vconjuncts, contradiction =
+    if not !Simplify.enabled then (vconjuncts, false)
+    else
+      match Simplify.simplify_conjuncts vconjuncts with
+      | Simplify.Contradiction -> ([], true)
+      | Simplify.Conjuncts cs -> (cs, false)
+  in
   (* split single-table conjuncts *)
   let single, multi =
     List.partition (fun c -> List.length (cols_of_tables c) <= 1) vconjuncts
@@ -519,6 +545,13 @@ let plan_select catalog (q : Sql_ast.select) =
   in
   let joined, placed = plan_joins env table_plans multi in
   let joined = with_filter joined const_preds in
+  (* An unsatisfiable WHERE clause produces zero input rows without touching
+     any table: LIMIT 0 never forces its input. Wrapping below the aggregate
+     keeps [SELECT COUNT(+) ... WHERE 1=0] returning its single row. *)
+  let joined =
+    if contradiction then Plan.Limit { input = joined; limit = Some 0; offset = 0 }
+    else joined
+  in
   (* aggregation? *)
   let has_agg =
     q.group_by <> [] || q.having <> None

@@ -1,0 +1,322 @@
+(* Static analyzer: the planner-feeding simplifier, the SQL lint rules,
+   the order-correctness contract and the plan inspector. *)
+
+module O = Ordered_xml
+module S = Reldb.Sql_ast
+module E = Reldb.Expr
+module V = Reldb.Value
+module P = Reldb.Plan
+module Simplify = Reldb.Simplify
+module F = Analysis.Finding
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* ---------------- simplifier (constant folding + intervals) --------- *)
+
+let col i = E.Col i
+let iconst n = E.Const (V.Int n)
+let cmp op a b = E.Cmp (op, a, b)
+
+let is_contradiction cs =
+  match Simplify.simplify_conjuncts cs with
+  | Simplify.Contradiction -> true
+  | Simplify.Conjuncts _ -> false
+
+let kept cs =
+  match Simplify.simplify_conjuncts cs with
+  | Simplify.Contradiction -> Alcotest.fail "unexpected contradiction"
+  | Simplify.Conjuncts l -> l
+
+let test_simplify_contradictions () =
+  check bool_t "x > 5 AND x < 3" true
+    (is_contradiction
+       [ cmp E.Gt (col 0) (iconst 5); cmp E.Lt (col 0) (iconst 3) ]);
+  check bool_t "x = 1 AND x = 2" true
+    (is_contradiction
+       [ cmp E.Eq (col 0) (iconst 1); cmp E.Eq (col 0) (iconst 2) ]);
+  check bool_t "x >= 5 AND x <= 3" true
+    (is_contradiction
+       [ cmp E.Ge (col 0) (iconst 5); cmp E.Le (col 0) (iconst 3) ]);
+  check bool_t "constant 5 < 3" true
+    (is_contradiction [ cmp E.Lt (iconst 5) (iconst 3) ]);
+  (* flipped orientation: constant on the left still normalizes *)
+  check bool_t "5 < x AND x < 4" true
+    (is_contradiction
+       [ cmp E.Lt (iconst 5) (col 0); cmp E.Lt (col 0) (iconst 4) ]);
+  check bool_t "x > 3 AND x < 5 is satisfiable" false
+    (is_contradiction
+       [ cmp E.Gt (col 0) (iconst 3); cmp E.Lt (col 0) (iconst 5) ]);
+  check bool_t "bounds on different columns do not interact" false
+    (is_contradiction
+       [ cmp E.Gt (col 0) (iconst 5); cmp E.Lt (col 1) (iconst 3) ])
+
+let test_simplify_subsumption () =
+  check int_t "x > 3 subsumed by x > 5" 1
+    (List.length
+       (kept [ cmp E.Gt (col 0) (iconst 3); cmp E.Gt (col 0) (iconst 5) ]));
+  check int_t "x >= 1 absorbed by x = 2" 1
+    (List.length
+       (kept [ cmp E.Ge (col 0) (iconst 1); cmp E.Eq (col 0) (iconst 2) ]));
+  check int_t "constant-true conjunct dropped" 1
+    (List.length
+       (kept [ cmp E.Eq (iconst 1) (iconst 1); cmp E.Gt (col 0) (iconst 0) ]));
+  check int_t "independent bounds both kept" 2
+    (List.length
+       (kept [ cmp E.Gt (col 0) (iconst 3); cmp E.Lt (col 0) (iconst 5) ]))
+
+let test_fold () =
+  check bool_t "arithmetic folds" true
+    (Simplify.fold (E.Arith (E.Add, iconst 1, iconst 2)) = iconst 3);
+  check bool_t "FALSE AND col short-circuits" true
+    (Simplify.truth_of (Simplify.fold (E.And (iconst 0, cmp E.Eq (col 0) (iconst 1))))
+    = Simplify.False);
+  check bool_t "TRUE OR col short-circuits" true
+    (Simplify.truth_of (Simplify.fold (E.Or (iconst 1, cmp E.Eq (col 0) (iconst 1))))
+    = Simplify.True);
+  (* a folding error (division by zero) must be left for execution time *)
+  check bool_t "div by zero not folded" true
+    (match Simplify.fold (E.Arith (E.Div, iconst 1, iconst 0)) with
+    | E.Arith (E.Div, _, _) -> true
+    | _ -> false)
+
+(* ---------------- planner short-circuit ------------------------------ *)
+
+let make_emp_db () =
+  let db = Reldb.Db.create () in
+  ignore (Reldb.Db.exec db "CREATE TABLE emp (id INT, name TEXT, salary INT)");
+  ignore (Reldb.Db.exec db "CREATE UNIQUE INDEX emp_pk ON emp (id)");
+  for i = 1 to 50 do
+    ignore
+      (Reldb.Db.exec db
+         (Printf.sprintf "INSERT INTO emp VALUES (%d, 'e%d', %d)" i i (i * 100)))
+  done;
+  db
+
+let test_contradiction_short_circuits () =
+  let db = make_emp_db () in
+  Reldb.Db.reset_counters db;
+  let rows =
+    Reldb.Db.query db "SELECT * FROM emp WHERE salary > 5 AND salary < 3"
+  in
+  check int_t "no rows returned" 0 (List.length rows);
+  check int_t "no rows read" 0 (Reldb.Db.rows_read db);
+  (* aggregates over an empty input still produce their one row *)
+  (match Reldb.Db.query db "SELECT COUNT(*) FROM emp WHERE 1 = 0" with
+  | [ [| V.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "COUNT over contradictory WHERE should be a single 0");
+  (* with the rewrite disabled the same query scans the table *)
+  Simplify.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Simplify.enabled := true)
+    (fun () ->
+      Reldb.Db.reset_counters db;
+      let rows =
+        Reldb.Db.query db "SELECT * FROM emp WHERE salary > 5 AND salary < 3"
+      in
+      check int_t "still no rows" 0 (List.length rows);
+      check bool_t "table scanned without the rewrite" true
+        (Reldb.Db.rows_read db > 0))
+
+(* ---------------- lint rules ------------------------------------------ *)
+
+let rules_of db stmt_text =
+  let stmt = Reldb.Sql_parser.parse stmt_text in
+  List.map
+    (fun f -> f.F.rule)
+    (Analysis.Lint.lint_stmt ~catalog:(Reldb.Db.catalog db) stmt)
+
+let has rule rules = List.mem rule rules
+
+let test_lint_rules () =
+  let db = make_emp_db () in
+  let rules = rules_of db in
+  check bool_t "cartesian product flagged" true
+    (has "cartesian-product" (rules "SELECT * FROM emp a, emp b"));
+  check bool_t "connected join not flagged" false
+    (has "cartesian-product"
+       (rules "SELECT * FROM emp a, emp b WHERE a.id = b.id"));
+  check bool_t "contradiction flagged" true
+    (has "contradiction"
+       (rules "SELECT * FROM emp WHERE salary > 5 AND salary < 3"));
+  check bool_t "tautology flagged" true
+    (has "tautology" (rules "SELECT * FROM emp WHERE 1 = 1 AND salary > 0"));
+  check bool_t "satisfiable range clean" false
+    (has "contradiction"
+       (rules "SELECT * FROM emp WHERE salary > 3 AND salary < 5"));
+  check bool_t "unsargable indexed column flagged" true
+    (has "unsargable" (rules "SELECT * FROM emp WHERE id + 0 = 5"));
+  check bool_t "unsargable needs an index" false
+    (has "unsargable" (rules "SELECT * FROM emp WHERE salary + 0 = 5"));
+  check bool_t "redundant DISTINCT over unique key" true
+    (has "redundant-distinct" (rules "SELECT DISTINCT id FROM emp"));
+  check bool_t "DISTINCT over non-unique column kept" false
+    (has "redundant-distinct" (rules "SELECT DISTINCT name FROM emp"));
+  check bool_t "single-value IN flagged" true
+    (has "degenerate-in" (rules "SELECT * FROM emp WHERE id IN (5)"));
+  check bool_t "inverted BETWEEN flagged" true
+    (has "degenerate-between"
+       (rules "SELECT * FROM emp WHERE id BETWEEN 5 AND 3"));
+  check bool_t "well-formed query clean" true
+    (rules "SELECT name FROM emp WHERE salary > 100" = []);
+  (* DML goes through the same WHERE analysis *)
+  check bool_t "DELETE with contradictory WHERE" true
+    (has "contradiction" (rules "DELETE FROM emp WHERE id > 5 AND id < 3"))
+
+(* ---------------- order-correctness contract -------------------------- *)
+
+let env =
+  lazy
+    (let doc = O.Workload.dataset ~scale:1 in
+     let db = Reldb.Db.create () in
+     List.iter
+       (fun enc -> ignore (O.Api.Store.create db ~name:"q" enc doc))
+       O.Encoding.all;
+     db)
+
+(* mirror of the translation suite's query lists: the shipped fragment *)
+let global_queries =
+  [
+    "/site/open_auctions/open_auction";
+    "//bidder";
+    "//bidder/increase";
+    "/site/people/person/@id";
+    "//person[address]/name";
+    "//person[profile/@income > 50000]/name";
+    "/site/closed_auctions/closed_auction[price > 500][type = 'Regular']";
+    "//open_auction/bidder/following-sibling::bidder";
+    "//increase/ancestor::open_auction";
+    "/site/regions/africa/item/following::item";
+    "//profile/..";
+    "//annotation/descendant-or-self::*";
+  ]
+
+let shared_queries =
+  [
+    "/site/open_auctions/open_auction";
+    "/site/people/person/@id";
+    "/site/people/person[address]/name";
+    "/site/open_auctions/open_auction/bidder/following-sibling::bidder";
+    "/site/closed_auctions/closed_auction[price > 500]/seller";
+    "/site/open_auctions/open_auction/bidder/personref/..";
+  ]
+
+let findings_for enc xpath =
+  let db = Lazy.force env in
+  let path = O.Xpath_parser.parse xpath in
+  let sql, meta = O.Translate_sql.translate_meta ~doc:"q" enc path in
+  let stmt = Reldb.Sql_parser.parse sql in
+  ( Analysis.Lint.lint_stmt ~catalog:(Reldb.Db.catalog db) stmt
+    @ Analysis.Order_check.check_stmt enc ~meta stmt,
+    stmt,
+    meta )
+
+let assert_clean enc xpath =
+  let findings, _, _ = findings_for enc xpath in
+  let bad = List.filter (fun f -> f.F.severity <> F.Info) findings in
+  if bad <> [] then
+    Alcotest.failf "%s: %s:\n%s" (O.Encoding.name enc) xpath
+      (String.concat "\n" (List.map F.to_string bad))
+
+let test_shipped_translations_lint_clean () =
+  List.iter (assert_clean O.Encoding.Global) global_queries;
+  List.iter
+    (fun enc -> List.iter (assert_clean enc) shared_queries)
+    O.Encoding.all
+
+let test_order_contract_columns () =
+  let expect = Analysis.Order_check.expected_order_column in
+  check bool_t "global orders by g_order" true
+    (expect O.Encoding.Global = Some "g_order");
+  check bool_t "gap orders by g_order" true
+    (expect O.Encoding.Global_gap = Some "g_order");
+  check bool_t "dewey orders by path" true
+    (expect O.Encoding.Dewey_enc = Some "path");
+  check bool_t "ordpath orders by path" true
+    (expect O.Encoding.Dewey_caret = Some "path");
+  check bool_t "local has no order column" true (expect O.Encoding.Local = None)
+
+(* tampering with a correct translation must trip the checker *)
+let test_order_tampering () =
+  let enc = O.Encoding.Global in
+  let _, stmt, meta = findings_for enc "//bidder" in
+  let sel = match stmt with S.Select s -> s | _ -> assert false in
+  let errors s =
+    List.filter
+      (fun f -> f.F.severity = F.Error)
+      (Analysis.Order_check.check_stmt enc ~meta (S.Select s))
+  in
+  check int_t "correct statement has no errors" 0 (List.length (errors sel));
+  check bool_t "stripped ORDER BY caught" true
+    (errors { sel with order_by = [] } <> []);
+  check bool_t "descending order caught" true
+    (errors
+       { sel with order_by = List.map (fun (e, _) -> (e, S.Desc)) sel.order_by }
+    <> []);
+  check bool_t "wrong column caught" true
+    (errors
+       { sel with order_by = [ (S.E_col (Some meta.O.Translate_sql.fm_result_alias, "id"), S.Asc) ] }
+    <> [])
+
+let test_axis_support () =
+  let p = O.Xpath_parser.parse in
+  let errs enc path =
+    List.length (Analysis.Order_check.check_axes enc (p path))
+  in
+  check int_t "following:: outside LOCAL fragment" 1
+    (errs O.Encoding.Local "/site/regions/africa/item/following::item");
+  check int_t "following:: fine under GLOBAL" 0
+    (errs O.Encoding.Global "/site/regions/africa/item/following::item");
+  check int_t "descendant outside DEWEY single-statement fragment" 1
+    (errs O.Encoding.Dewey_enc "//bidder");
+  check int_t "child/parent axes universal" 0
+    (errs O.Encoding.Local "/site/people/person/..")
+
+(* ---------------- plan lint ------------------------------------------- *)
+
+let test_plan_lint () =
+  let db = make_emp_db () in
+  let catalog = Reldb.Db.catalog db in
+  let plan_of text =
+    match Reldb.Sql_parser.parse text with
+    | S.Select sel -> Reldb.Planner.plan_select catalog sel
+    | _ -> assert false
+  in
+  let rules p = List.map (fun f -> f.F.rule) (Analysis.Plan_lint.lint_plan p) in
+  (* hand-built filtered scan: predicate on the unique-index key column *)
+  let emp = Reldb.Db.table db "emp" in
+  let scan =
+    P.Filter (cmp E.Eq (col 0) (iconst 5), P.Seq_scan emp)
+  in
+  check bool_t "seq scan shadowing an index" true
+    (has "seq-scan-with-index" (rules scan));
+  check bool_t "bare scan clean" true (rules (P.Seq_scan emp) = []);
+  check bool_t "cross join flagged" true
+    (has "cross-join" (rules (plan_of "SELECT * FROM emp a, emp b")));
+  check bool_t "equi join clean of cross-join" false
+    (has "cross-join"
+       (rules (plan_of "SELECT * FROM emp a, emp b WHERE a.id = b.id")));
+  (* a short-circuited contradictory plan is not linted below LIMIT 0 *)
+  check bool_t "LIMIT 0 subtree suppressed" true
+    (rules (plan_of "SELECT * FROM emp a, emp b WHERE 1 = 0") = [])
+
+let tests =
+  ( "analysis",
+    [
+      Alcotest.test_case "simplify: contradictions" `Quick
+        test_simplify_contradictions;
+      Alcotest.test_case "simplify: subsumption" `Quick
+        test_simplify_subsumption;
+      Alcotest.test_case "simplify: constant folding" `Quick test_fold;
+      Alcotest.test_case "planner short-circuits contradictions" `Quick
+        test_contradiction_short_circuits;
+      Alcotest.test_case "lint rules" `Quick test_lint_rules;
+      Alcotest.test_case "shipped translations lint clean" `Quick
+        test_shipped_translations_lint_clean;
+      Alcotest.test_case "order contract columns" `Quick
+        test_order_contract_columns;
+      Alcotest.test_case "order tampering caught" `Quick test_order_tampering;
+      Alcotest.test_case "axis support" `Quick test_axis_support;
+      Alcotest.test_case "plan lint" `Quick test_plan_lint;
+    ] )

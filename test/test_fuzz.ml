@@ -88,6 +88,138 @@ let prop_xpath_render_roundtrip =
       let reparsed = O.Xpath_parser.parse rendered in
       O.Xpath_ast.to_string reparsed = rendered)
 
+(* differential self-check: every generated path inside the single-statement
+   fragment must translate to SQL that (a) parses back through the engine's
+   own parser and (b) survives the static analyzer with nothing worse than
+   an informational note *)
+let analysis_db =
+  lazy
+    (let doc = Xmllib.Generator.random_tree ~seed:7 ~max_depth:4 ~max_fanout:4 () in
+     let db = Reldb.Db.create () in
+     List.iter
+       (fun enc -> ignore (O.Api.Store.create db ~name:"q" enc doc))
+       O.Encoding.all;
+     db)
+
+let prop_translation_lints_clean =
+  QCheck.Test.make
+    ~name:"single-statement translations parse back and lint clean" ~count:200
+    Xpath_gen.arb_path (fun path ->
+      let db = Lazy.force analysis_db in
+      let catalog = Reldb.Db.catalog db in
+      List.for_all
+        (fun enc ->
+          (not (O.Translate_sql.eligible enc path))
+          ||
+          let sql, meta = O.Translate_sql.translate_meta ~doc:"q" enc path in
+          match Reldb.Sql_parser.parse sql with
+          | exception Reldb.Sql_parser.Parse_error m ->
+              QCheck.Test.fail_reportf
+                "%s: translation does not parse back (%s):\n%s"
+                (O.Encoding.name enc) m sql
+          | stmt -> (
+              let findings =
+                Analysis.Lint.lint_stmt ~catalog stmt
+                @ Analysis.Order_check.check_stmt enc ~meta stmt
+                @
+                match stmt with
+                | Reldb.Sql_ast.Select sel ->
+                    Analysis.Plan_lint.lint_plan
+                      (Reldb.Planner.plan_select catalog sel)
+                | _ -> []
+              in
+              match
+                List.filter
+                  (fun f ->
+                    f.Analysis.Finding.severity <> Analysis.Finding.Info
+                    (* a vacuous path (e.g. /descendant::a/self::b) correctly
+                       translates to an always-false WHERE; the contradiction
+                       warning is the analyzer doing its job, not a bug *)
+                    && f.Analysis.Finding.rule <> "contradiction")
+                  findings
+              with
+              | [] -> true
+              | bad ->
+                  QCheck.Test.fail_reportf "%s: translation not clean:\n%s\n%s"
+                    (O.Encoding.name enc)
+                    (String.concat "\n"
+                       (List.map Analysis.Finding.to_string bad))
+                    sql))
+        O.Encoding.all)
+
+(* randomized update workloads must leave every encoding's structural
+   invariants intact (Integrity.check as a fuzz gate) *)
+let frag =
+  Xmllib.Types.element "item"
+    ~attrs:[ Xmllib.Types.attr "k0" "77" ]
+    [ Xmllib.Types.text "fuzzed" ]
+
+let prop_random_updates_keep_integrity =
+  let gen =
+    QCheck.Gen.(
+      pair (int_bound 10_000) (list_size (int_range 1 10) (int_bound 99)))
+  in
+  let print (seed, ops) =
+    Printf.sprintf "seed=%d ops=%s" seed
+      (String.concat "," (List.map string_of_int ops))
+  in
+  QCheck.Test.make ~name:"integrity holds after random update workloads"
+    ~count:25 (QCheck.make ~print gen) (fun (seed, ops) ->
+      let doc = Xmllib.Generator.flat ~tag:"item" ~count:6 () in
+      let db = Reldb.Db.create () in
+      let stores =
+        List.map
+          (fun enc -> (enc, O.Api.Store.create db ~name:"w" enc doc))
+          O.Encoding.all
+      in
+      let rng = Xmllib.Rng.create seed in
+      List.iter
+        (fun op ->
+          let count = O.Api.Store.count (snd (List.hd stores)) "/doc/item" in
+          if op mod 3 = 0 && count > 2 then begin
+            let k = 1 + Xmllib.Rng.int rng count in
+            List.iter
+              (fun (_, s) ->
+                match
+                  O.Api.Store.query_ids s (Printf.sprintf "/doc/item[%d]" k)
+                with
+                | [ id ] -> ignore (O.Api.Store.delete_subtree s ~id)
+                | _ -> ())
+              stores
+          end
+          else if op mod 3 = 1 then begin
+            let pos = 1 + Xmllib.Rng.int rng (count + 1) in
+            List.iter
+              (fun (_, s) ->
+                ignore
+                  (O.Api.Store.insert_subtree s
+                     ~parent:(O.Api.Store.root_id s) ~pos frag))
+              stores
+          end
+          else begin
+            let k = 1 + Xmllib.Rng.int rng count in
+            let v = string_of_int (Xmllib.Rng.int rng 1000) in
+            List.iter
+              (fun (_, s) ->
+                match
+                  O.Api.Store.query_ids s (Printf.sprintf "/doc/item[%d]" k)
+                with
+                | [ id ] ->
+                    ignore (O.Api.Store.set_attribute s ~id ~name:"k1" ~value:v)
+                | _ -> ())
+              stores
+          end)
+        ops;
+      List.for_all
+        (fun (enc, s) ->
+          match O.Integrity.check (O.Api.Store.db s) ~doc:"w" enc with
+          | Ok () -> true
+          | Error msgs ->
+              QCheck.Test.fail_reportf "%s integrity violated: %s"
+                (O.Encoding.name enc)
+                (String.concat "; " msgs))
+        stores)
+
 let tests =
   ( "fuzz",
     [
@@ -99,4 +231,6 @@ let tests =
       QCheck_alcotest.to_alcotest prop_dewey_decode;
       QCheck_alcotest.to_alcotest prop_entities;
       QCheck_alcotest.to_alcotest prop_xpath_render_roundtrip;
+      QCheck_alcotest.to_alcotest prop_translation_lints_clean;
+      QCheck_alcotest.to_alcotest prop_random_updates_keep_integrity;
     ] )

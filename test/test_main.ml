@@ -14,6 +14,7 @@ let () =
       Test_shred.tests;
       Test_translate.tests;
       Test_translate_sql.tests;
+      Test_analysis.tests;
       Test_update.tests;
       Test_api.tests;
       Test_flwor.tests;

@@ -16,6 +16,18 @@ let all_stores doc =
   let db = Reldb.Db.create () in
   List.map (fun enc -> (enc, O.Api.Store.create db ~name:"u" enc doc)) O.Encoding.all
 
+(* structural-invariant gate: every update workload must leave all encodings
+   in a state Integrity.check accepts *)
+let assert_integrity stores =
+  List.iter
+    (fun (enc, store) ->
+      match O.Integrity.check (O.Api.Store.db store) ~doc:"u" enc with
+      | Ok () -> ()
+      | Error msgs ->
+          Alcotest.failf "%s integrity violated: %s" (O.Encoding.name enc)
+            (String.concat "; " msgs))
+    stores
+
 (* DOM-side reference edit: insert node as pos-th child of root *)
 let dom_insert_at_root doc pos node =
   let root = doc.T.root in
@@ -33,6 +45,7 @@ let test_insert_positions () =
     (fun pos ->
       let doc = base_doc () in
       let expected = dom_insert_at_root doc pos frag in
+      let stores = all_stores doc in
       List.iter
         (fun (enc, store) ->
           let root = O.Api.Store.root_id store in
@@ -41,7 +54,8 @@ let test_insert_positions () =
           if not (T.equal_document expected got) then
             Alcotest.failf "%s: insert at %d diverges from DOM edit"
               (O.Encoding.name enc) pos)
-        (all_stores doc))
+        stores;
+      assert_integrity stores)
     [ 1; 10; 21 ]
 
 let test_insert_nested_fragment () =
@@ -114,10 +128,12 @@ let test_gap_exhaustion_falls_back () =
   done;
   check bool_t "fallback occurred" true (!total_renum > 0);
   check bool_t "document correct" true
-    (T.equal_document !expected (O.Api.Store.document store))
+    (T.equal_document !expected (O.Api.Store.document store));
+  assert_integrity [ (O.Encoding.Global_gap, store) ]
 
 let test_delete () =
   let doc = base_doc () in
+  let stores = all_stores doc in
   List.iter
     (fun (enc, store) ->
       let victim =
@@ -137,7 +153,8 @@ let test_delete () =
         (O.Encoding.name enc ^ " item[3] exists")
         1
         (O.Api.Store.count store "/doc/item[3]"))
-    (all_stores doc)
+    stores;
+  assert_integrity stores
 
 let test_delete_then_insert_reuses_space () =
   let doc = base_doc () in
@@ -172,6 +189,7 @@ let test_update_errors () =
 
 let test_move_subtree () =
   let doc = base_doc () in
+  let stores = all_stores doc in
   List.iter
     (fun (enc, store) ->
       (* move item[3] to the front *)
@@ -197,7 +215,8 @@ let test_move_subtree () =
       match O.Api.Store.move_subtree store ~id:outer ~parent:inner ~pos:1 with
       | exception U.Update_error _ -> ()
       | _ -> Alcotest.fail "cycle move accepted")
-    (all_stores doc)
+    stores;
+  assert_integrity stores
 
 let test_replace_subtree () =
   let doc = base_doc () in
@@ -272,6 +291,7 @@ let test_attributes () =
 
 let test_set_text () =
   let doc = base_doc () in
+  let stores = all_stores doc in
   List.iter
     (fun (_, store) ->
       let tid =
@@ -287,7 +307,8 @@ let test_set_text () =
       (* nval updated: numeric predicate now matches *)
       check int_t "numeric predicate" 1
         (O.Api.Store.count store "/doc/item[f0 > 7.0]"))
-    (all_stores doc)
+    stores;
+  assert_integrity stores
 
 let test_integrity_checker_detects () =
   (* the checker actually fires: corrupt a GLOBAL interval by hand *)
@@ -326,6 +347,7 @@ let test_insert_forest () =
       doc
       (List.mapi (fun i n -> (i, n)) forest)
   in
+  let stores = all_stores doc in
   List.iter
     (fun (enc, store) ->
       let root = O.Api.Store.root_id store in
@@ -345,7 +367,8 @@ let test_insert_forest () =
         (O.Encoding.name enc ^ " amortized")
         true
         (st.U.rows_renumbered <= st1.U.rows_renumbered + 5))
-    (all_stores doc);
+    stores;
+  assert_integrity stores;
   (* empty forest rejected *)
   let db = Reldb.Db.create () in
   let s = O.Api.Store.create db ~name:"e" O.Encoding.Local (base_doc ()) in
@@ -415,6 +438,7 @@ let test_ordpath_prepend_amortization () =
 let test_atomic_updates () =
   (* a failing batch leaves the store byte-identical, for every encoding *)
   let doc = base_doc () in
+  let stores = all_stores doc in
   List.iter
     (fun (enc, store) ->
       let before = Reldb.Db.dump (O.Api.Store.db store) in
@@ -437,7 +461,8 @@ let test_atomic_updates () =
           ignore (O.Api.Store.insert_subtree store ~parent:root ~pos:1 frag));
       check int_t (O.Encoding.name enc ^ " committed") 21
         (O.Api.Store.count store "/doc/item"))
-    (all_stores doc)
+    stores;
+  assert_integrity stores
 
 (* random edit sequences: all encodings converge to the same document and
    keep answering ordered queries correctly *)
