@@ -1,6 +1,6 @@
 OXQ = dune exec --no-print-directory bin/oxq.exe --
 
-.PHONY: all build test lint check bench experiments clean
+.PHONY: all build test lint check bench bench-smoke experiments clean
 
 all: build
 
@@ -18,13 +18,18 @@ lint:
 
 # build + tier-1 tests + CLI smoke test over the quickstart catalog.
 # Run this before recording a change in CHANGES.md.
-check: build test lint
+check: build test lint bench-smoke
 	$(OXQ) stats examples/catalog.xml -e dewey
 	$(OXQ) query examples/catalog.xml '/catalog/book[1]/title' --trace
 	@echo "check: OK"
 
 bench:
 	dune exec bench/main.exe
+
+# regression guard: Q1/global latency must stay within 3x of the checked-in
+# baseline (bench/baseline.json)
+bench-smoke:
+	dune exec --no-print-directory bench/smoke.exe -- bench/baseline.json
 
 experiments:
 	dune exec bin/experiments.exe -- all

@@ -1,0 +1,76 @@
+(* Bench regression guard: time Q1 over the GLOBAL encoding and fail if the
+   per-run latency regresses more than 3x over the checked-in baseline
+   (bench/baseline.json). Fast enough to wire into `make check`; the full
+   statistical suite stays in bench/main.ml. *)
+
+module O = Ordered_xml
+
+(* measure the engine, not the instrumentation *)
+let () = Obs.set_enabled false
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> die "bench-smoke: %s" m in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* minimal scan for ["q1_global_us": <number>] — not a JSON parser, just
+   enough to read the one checked-in figure without a dependency *)
+let baseline_us path =
+  let text = read_file path in
+  let key = "\"q1_global_us\"" in
+  let klen = String.length key and len = String.length text in
+  let rec find i =
+    if i + klen > len then die "%s: no %s key" path key
+    else if String.sub text i klen = key then i + klen
+    else find (i + 1)
+  in
+  let i = ref (find 0) in
+  while !i < len && (text.[!i] = ':' || text.[!i] = ' ') do
+    incr i
+  done;
+  let j = ref !i in
+  while
+    !j < len && (match text.[!j] with '0' .. '9' | '.' -> true | _ -> false)
+  do
+    incr j
+  done;
+  if !j = !i then die "%s: no number after %s" path key;
+  float_of_string (String.sub text !i (!j - !i))
+
+let () =
+  let baseline_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "bench/baseline.json"
+  in
+  let base = baseline_us baseline_path in
+  let doc = O.Workload.dataset ~scale:1 in
+  let db = Reldb.Db.create () in
+  let store = O.Api.Store.create db ~name:"b" O.Encoding.Global doc in
+  let q1 =
+    match (List.hd O.Workload.queries).O.Workload.q_xpath with
+    | Some xp -> xp
+    | None -> die "bench-smoke: Q1 has no xpath"
+  in
+  (* warm-up also fills the plan cache, matching steady-state service *)
+  for _ = 1 to 50 do
+    ignore (O.Api.Store.query store q1)
+  done;
+  let runs = 2000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    ignore (O.Api.Store.query store q1)
+  done;
+  let per_run_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int runs in
+  Printf.printf
+    "bench-smoke: q1/global %.1f us/run (baseline %.1f us, limit %.1f us)\n"
+    per_run_us base (3.0 *. base);
+  if per_run_us > 3.0 *. base then
+    die "bench-smoke: FAIL - Q1 latency regressed more than 3x over baseline";
+  print_endline "bench-smoke: OK"

@@ -139,6 +139,9 @@ let stats_cmd =
         let db = Reldb.Db.create () in
         let store = O.Api.Store.create db ~name:"doc" enc doc in
         Format.printf "@.%a@." O.Storage.pp (O.Api.Store.storage store);
+        let hits, misses, entries = Reldb.Db.plan_cache_stats db in
+        Printf.printf "\nplan cache: %d hit(s), %d miss(es), %d cached plan(s)\n"
+          hits misses entries;
         print_newline ();
         print_string (Obs.Report.to_text ()))
   in

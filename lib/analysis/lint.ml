@@ -27,6 +27,7 @@ let arith_str = function
 let rec render (e : S.sexpr) =
   match e with
   | S.E_const v -> V.to_sql_literal v
+  | S.E_param i -> Printf.sprintf "?%d" (i + 1)
   | S.E_col (Some q, n) -> q ^ "." ^ n
   | S.E_col (None, n) -> n
   | S.E_cmp (op, a, b) ->
@@ -56,7 +57,9 @@ let rec s_conjuncts e acc =
   | e -> e :: acc
 
 let rec s_has_col = function
-  | S.E_col _ -> true
+  (* A bound-at-runtime parameter is as opaque as a column: it silences the
+     tautology/contradiction lints rather than triggering them. *)
+  | S.E_col _ | S.E_param _ -> true
   | S.E_const _ | S.E_star -> false
   | S.E_cmp (_, a, b)
   | S.E_and (a, b)
@@ -74,7 +77,7 @@ let rec s_has_col = function
 let rec s_cols e acc =
   match e with
   | S.E_col (q, n) -> (Option.map norm q, norm n) :: acc
-  | S.E_const _ | S.E_star -> acc
+  | S.E_const _ | S.E_param _ | S.E_star -> acc
   | S.E_cmp (_, a, b)
   | S.E_and (a, b)
   | S.E_or (a, b)
@@ -91,7 +94,7 @@ let rec s_cols e acc =
 let rec walk f e =
   f e;
   match e with
-  | S.E_const _ | S.E_col _ | S.E_star -> ()
+  | S.E_const _ | S.E_param _ | S.E_col _ | S.E_star -> ()
   | S.E_cmp (_, a, b)
   | S.E_and (a, b)
   | S.E_or (a, b)
@@ -141,6 +144,7 @@ let make_converter () =
   let rec go (e : S.sexpr) : E.t =
     match e with
     | S.E_const v -> E.Const v
+    | S.E_param _ -> E.Col (fresh ())  (* opaque to interval analysis *)
     | S.E_col (q, n) -> E.Col (intern (Option.map norm q, norm n))
     | S.E_cmp (op, a, b) -> E.Cmp (op, go a, go b)
     | S.E_and (a, b) -> E.And (go a, go b)

@@ -69,7 +69,6 @@ let shred ?gap db ~doc enc document =
     (fun () ->
       let idx = Doc_index.build document in
       Encoding.create_tables db ~doc enc;
-      let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
       let gap_orders =
         match enc with
         | Encoding.Global -> Some (interval_numbering idx ~gap:1)
@@ -79,10 +78,14 @@ let shred ?gap db ~doc enc document =
                  ~gap:(Option.value gap ~default:Encoding.default_gap))
         | Encoding.Local | Encoding.Dewey_enc | Encoding.Dewey_caret -> None
       in
-      Array.iter
-        (fun r ->
-          ignore (Reldb.Table.insert table (row_of_record enc ~gap_orders r)))
-        (Doc_index.records idx);
+      (* bulk-load in one call: build all rows first, then hand the batch to
+         the engine's loader fast path *)
+      let rows =
+        Array.fold_right
+          (fun r acc -> row_of_record enc ~gap_orders r :: acc)
+          (Doc_index.records idx) []
+      in
+      ignore (Reldb.Db.insert_many db (Encoding.table_name ~doc enc) rows);
       idx)
 
 (* ------------------------------------------------------------------ *)

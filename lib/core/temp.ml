@@ -1,18 +1,19 @@
 let counter = ref 0
 
+(* Context tables are created and dropped through the catalog directly, not
+   via SQL DDL: they are private scratch space, and going around [Db.exec]
+   lets a context live inside an open transaction (the table exists only
+   within the bracket, so journaling never sees it). *)
 let with_ctx db ~cols ~rows f =
   incr counter;
   let name = Printf.sprintf "ctx_%d" !counter in
-  let ddl =
-    Printf.sprintf "CREATE TABLE %s (%s)" name
-      (String.concat ", "
-         (List.map
-            (fun (n, ty) -> Printf.sprintf "%s %s" n (Reldb.Value.ty_name ty))
-            cols))
+  let cat = Reldb.Db.catalog db in
+  let schema =
+    Array.of_list
+      (List.map (fun (n, ty) -> Reldb.Schema.column ~nullable:true n ty) cols)
   in
-  ignore (Reldb.Db.exec db ddl);
-  let table = Reldb.Db.table db name in
+  let table = Reldb.Catalog.create_table cat name schema in
   List.iter (fun row -> ignore (Reldb.Table.insert table row)) rows;
   Fun.protect
-    ~finally:(fun () -> ignore (Reldb.Db.exec db (Printf.sprintf "DROP TABLE %s" name)))
+    ~finally:(fun () -> Reldb.Catalog.drop_table cat name)
     (fun () -> f name)

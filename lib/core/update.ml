@@ -20,6 +20,12 @@ let zero = { rows_inserted = 0; rows_deleted = 0; rows_renumbered = 0; statement
 
 type state = { db : Reldb.Db.t; enc : Encoding.t; tname : string; mutable st : stats }
 
+(* Every public update runs as one transaction: a logical XML update either
+   lands completely or not at all. Compound operations (move, replace) call
+   the primitives re-entrantly, so nesting joins the enclosing transaction. *)
+let transactionally db f =
+  if Reldb.Db.in_transaction db then f () else Reldb.Db.with_transaction db f
+
 let exec state sql =
   state.st <- { state.st with statements = state.st.statements + 1 };
   Log.debug (fun m -> m "%s" sql);
@@ -84,6 +90,21 @@ let insert_row state tuple =
   (try ignore (Reldb.Table.insert table tuple)
    with Reldb.Table.Constraint_violation m -> fail "%s" m);
   state.st <- { state.st with rows_inserted = state.st.rows_inserted + 1 }
+
+(* one bulk-load call instead of a statement per row *)
+let bulk_insert state rows =
+  if rows <> [] then begin
+    let n =
+      try Reldb.Db.insert_many state.db state.tname rows
+      with Reldb.Db.Sql_error m -> fail "%s" m
+    in
+    state.st <-
+      {
+        state.st with
+        statements = state.st.statements + 1;
+        rows_inserted = state.st.rows_inserted + n;
+      }
+  end
 
 let common_payload (r : Doc_index.record) ~id ~parent =
   let tag = if r.Doc_index.tag = "" then V.Null else V.Str r.Doc_index.tag in
@@ -154,6 +175,7 @@ let local_insert state b fragments =
      in
      state.st <- { state.st with rows_renumbered = state.st.rows_renumbered + shifted }
    end);
+  let rows = ref [] in
   List.iteri
     (fun j (fragment_idx, base) ->
       Array.iter
@@ -164,11 +186,13 @@ let local_insert state b fragments =
             let l_order =
               if r.Doc_index.parent = 0 then l0 + j else r.Doc_index.pos
             in
-            insert_row state
-              (Array.append (common_payload r ~id ~parent:parent_id) [| V.Int l_order |])
+            rows :=
+              Array.append (common_payload r ~id ~parent:parent_id) [| V.Int l_order |]
+              :: !rows
           end)
         (Doc_index.records fragment_idx))
-    fragments
+    fragments;
+  bulk_insert state (List.rev !rows)
 
 (* --- GLOBAL (dense and gapped) --------------------------------------- *)
 
@@ -244,6 +268,7 @@ let global_insert state b fragments ~gapped =
     end
   in
   let offset = ref 0 in
+  let rows = ref [] in
   List.iter
     (fun (fragment_idx, base) ->
       let ordinals = fragment_ordinals fragment_idx in
@@ -253,14 +278,16 @@ let global_insert state b fragments ~gapped =
           else begin
             let id, parent_id = remap base ~parent:b.parent_row.Node_row.id r in
             let s_ord, e_ord = ordinals.(r.Doc_index.id) in
-            insert_row state
-              (Array.append
-                 (common_payload r ~id ~parent:parent_id)
-                 [| V.Int (assign (!offset + s_ord)); V.Int (assign (!offset + e_ord)) |])
+            rows :=
+              Array.append
+                (common_payload r ~id ~parent:parent_id)
+                [| V.Int (assign (!offset + s_ord)); V.Int (assign (!offset + e_ord)) |]
+              :: !rows
           end)
         (Doc_index.records fragment_idx);
       offset := !offset + (2 * fragment_size fragment_idx))
-    fragments
+    fragments;
+  bulk_insert state (List.rev !rows)
 
 (* --- DEWEY (plain and caret) ------------------------------------------ *)
 
@@ -284,6 +311,11 @@ let rewrite_subtree_paths state ~old_path ~new_path =
          (V.to_sql_literal (V.Bytes (Dewey.prefix_upper_bound old_enc))))
   in
   let old_len = String.length old_enc in
+  (* one parse for the whole loop; values bound per row *)
+  let upd =
+    Reldb.Db.prepare state.db
+      (Printf.sprintf "UPDATE %s SET path = ? WHERE id = ?" state.tname)
+  in
   List.iter
     (fun tu ->
       match tu with
@@ -292,14 +324,16 @@ let rewrite_subtree_paths state ~old_path ~new_path =
             new_enc ^ String.sub p old_len (String.length p - old_len)
           in
           let n =
-            exec state
-              (Printf.sprintf "UPDATE %s SET path = %s WHERE id = %d"
-                 state.tname
-                 (V.to_sql_literal (V.Bytes rewritten))
-                 id)
+            match Reldb.Db.Stmt.exec upd [| V.Bytes rewritten; V.Int id |] with
+            | Reldb.Db.Affected n -> n
+            | Reldb.Db.Rows _ -> 0
           in
           state.st <-
-            { state.st with rows_renumbered = state.st.rows_renumbered + n }
+            {
+              state.st with
+              statements = state.st.statements + 1;
+              rows_renumbered = state.st.rows_renumbered + n;
+            }
       | _ -> assert false)
     rows
 
@@ -307,6 +341,7 @@ let rewrite_subtree_paths state ~old_path ~new_path =
    the fragment's logical components ([Fun.id] for DEWEY, caretify for
    ORDPATH); [target_depth] is the logical depth of the fragment top. *)
 let dewey_graft state b fragment_idx base ~target ~target_depth ~component_map =
+  let rows = ref [] in
   Array.iter
     (fun (r : Doc_index.record) ->
       if r.Doc_index.id = 0 then ()
@@ -318,12 +353,14 @@ let dewey_graft state b fragment_idx base ~target ~target_depth ~component_map =
         let suffix = Array.sub frag_path 2 (Array.length frag_path - 2) in
         let path = Array.append target (Array.map component_map suffix) in
         let depth = target_depth + Array.length suffix in
-        insert_row state
-          (Array.append
-             (common_payload r ~id ~parent:parent_id)
-             [| V.Int depth; V.Bytes (Dewey.encode path) |])
+        rows :=
+          Array.append
+            (common_payload r ~id ~parent:parent_id)
+            [| V.Int depth; V.Bytes (Dewey.encode path) |]
+          :: !rows
       end)
-    (Doc_index.records fragment_idx)
+    (Doc_index.records fragment_idx);
+  bulk_insert state (List.rev !rows)
 
 let fetch_depth state id =
   match
@@ -498,6 +535,7 @@ let caret_insert state b fragments =
 
 let insert_forest db ~doc enc ~parent ~pos fragments =
   if fragments = [] then invalid_arg "Update.insert_forest: empty forest";
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let b = locate state ~parent ~pos in
   let base0 = max_id state + 1 in
@@ -526,6 +564,7 @@ let append_child db ~doc enc ~parent fragment =
   insert_subtree db ~doc enc ~parent ~pos:(n + 1) fragment
 
 let delete_subtree db ~doc enc ~id =
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let row = fetch_node state id in
   if row.Node_row.kind = Doc_index.Attr then fail "cannot delete an attribute subtree";
@@ -548,13 +587,18 @@ let delete_subtree db ~doc enc ~id =
         let rows =
           Reconstruct.fetch_subtree_rows db ~doc enc ~root:row
         in
+        let del =
+          Reldb.Db.prepare state.db
+            (Printf.sprintf "DELETE FROM %s WHERE id = ?" state.tname)
+        in
         let n =
           List.fold_left
             (fun acc (r : Node_row.t) ->
+              state.st <- { state.st with statements = state.st.statements + 1 };
               acc
-              + exec state
-                  (Printf.sprintf "DELETE FROM %s WHERE id = %d" state.tname
-                     r.Node_row.id))
+              + (match Reldb.Db.Stmt.exec del [| V.Int r.Node_row.id |] with
+                | Reldb.Db.Affected n -> n
+                | Reldb.Db.Rows _ -> 0))
             0 rows
         in
         let parent = Option.get row.Node_row.parent in
@@ -573,6 +617,7 @@ let delete_subtree db ~doc enc ~id =
   { state.st with rows_deleted = deleted }
 
 let move_subtree db ~doc enc ~id ~parent ~pos =
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let row = fetch_node state id in
   if row.Node_row.kind = Doc_index.Attr then fail "cannot move an attribute";
@@ -607,6 +652,7 @@ let fetch_attrs state id =
   List.map (Node_row.of_tuple state.enc) (query state sql)
 
 let set_attribute db ~doc enc ~id ~name ~value =
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let row = fetch_node state id in
   if row.Node_row.kind <> Doc_index.Elem then fail "node %d is not an element" id;
@@ -695,6 +741,7 @@ let set_attribute db ~doc enc ~id ~name ~value =
     end
 
 let remove_attribute db ~doc enc ~id ~name =
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let row = fetch_node state id in
   if row.Node_row.kind <> Doc_index.Elem then fail "node %d is not an element" id;
@@ -726,6 +773,7 @@ let remove_attribute db ~doc enc ~id ~name =
       { state.st with rows_deleted = deleted }
 
 let replace_subtree db ~doc enc ~id fragment =
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let row = fetch_node state id in
   if row.Node_row.kind = Doc_index.Attr then fail "cannot replace an attribute";
@@ -753,6 +801,7 @@ let replace_subtree db ~doc enc ~id fragment =
   }
 
 let set_text db ~doc enc ~id value =
+  transactionally db @@ fun () ->
   let state = { db; enc; tname = Encoding.table_name ~doc enc; st = zero } in
   let row = fetch_node state id in
   (match row.Node_row.kind with

@@ -142,6 +142,9 @@ module Histogram = struct
 end
 
 let incr name = if !enabled_flag then Counter.incr (Counter.create name)
+
+let counter_value name =
+  match Counter.find name with Some c -> Counter.value c | None -> 0
 let add name n = if !enabled_flag then Counter.add (Counter.create name) n
 let set_gauge name v = if !enabled_flag then Gauge.set (Gauge.create name) v
 

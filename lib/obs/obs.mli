@@ -93,6 +93,9 @@ val add : string -> int -> unit
 val set_gauge : string -> float -> unit
 val observe : string -> float -> unit
 
+val counter_value : string -> int
+(** Current value of a registered counter, [0] if it was never created. *)
+
 module Span : sig
   (** Hierarchical timed regions. [with_] nests: a span started while
       another is open records a larger depth, so a collected batch renders

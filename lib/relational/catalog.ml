@@ -1,28 +1,39 @@
-type t = (string, Table.t) Hashtbl.t
+type t = {
+  tbls : (string, Table.t) Hashtbl.t;
+  (* Bumped on any schema change (CREATE/DROP TABLE, CREATE INDEX) so cached
+     plans can be validated cheaply: a plan is stale iff the version moved. *)
+  mutable version : int;
+}
 
 exception Catalog_error of string
 
-let create () = Hashtbl.create 16
+let create () = { tbls = Hashtbl.create 16; version = 0 }
 
 let norm = String.lowercase_ascii
 
-let find_table t name = Hashtbl.find_opt t (norm name)
+let version t = t.version
+
+let bump_version t = t.version <- t.version + 1
+
+let find_table t name = Hashtbl.find_opt t.tbls (norm name)
 
 let create_table t name schema =
-  if Hashtbl.mem t (norm name) then
+  if Hashtbl.mem t.tbls (norm name) then
     raise (Catalog_error (Printf.sprintf "table %s already exists" name));
   let tbl = Table.create name schema in
-  Hashtbl.add t (norm name) tbl;
+  Hashtbl.add t.tbls (norm name) tbl;
+  bump_version t;
   tbl
 
 let drop_table t name =
-  if not (Hashtbl.mem t (norm name)) then
+  if not (Hashtbl.mem t.tbls (norm name)) then
     raise (Catalog_error (Printf.sprintf "no such table %s" name));
-  Hashtbl.remove t (norm name)
+  Hashtbl.remove t.tbls (norm name);
+  bump_version t
 
 let get_table t name =
   match find_table t name with
   | Some tbl -> tbl
   | None -> raise (Catalog_error (Printf.sprintf "no such table %s" name))
 
-let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t []
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tbls []

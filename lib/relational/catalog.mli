@@ -17,3 +17,11 @@ val get_table : t -> string -> Table.t
 (** @raise Catalog_error if absent. *)
 
 val tables : t -> Table.t list
+
+val version : t -> int
+(** Schema version: incremented on every CREATE/DROP TABLE and by
+    {!bump_version}. Plan caches compare this to decide staleness. *)
+
+val bump_version : t -> unit
+(** Force an increment (used for schema changes the catalog does not see
+    directly, e.g. CREATE INDEX on an existing table). *)

@@ -1,11 +1,27 @@
+(* A cached SELECT plan: valid only while the catalog version is unchanged.
+   [ce_tick] implements LRU — it records the last lookup that touched the
+   entry; eviction removes the smallest tick. *)
+type cache_entry = {
+  ce_version : int;
+  ce_simplify : bool;  (* Simplify.enabled at plan time; toggling it must
+                          not serve plans built under the other setting *)
+  ce_plan : Plan.t;
+  mutable ce_tick : int;
+}
+
 type t = {
   cat : Catalog.t;
   mutable txn : bool;
   mutable slow_ms : float option;  (* slow-query log threshold *)
   mutable slow_log : (float * string) list;  (* newest first, capped *)
+  plan_cache : (string, cache_entry) Hashtbl.t;  (* keyed by raw SQL text *)
+  mutable cache_tick : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let slow_log_cap = 32
+let plan_cache_cap = 128
 
 type result =
   | Rows of { schema : Schema.t; tuples : Tuple.t list }
@@ -16,7 +32,16 @@ exception Sql_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
 
 let create () =
-  { cat = Catalog.create (); txn = false; slow_ms = None; slow_log = [] }
+  {
+    cat = Catalog.create ();
+    txn = false;
+    slow_ms = None;
+    slow_log = [];
+    plan_cache = Hashtbl.create 64;
+    cache_tick = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
 
 let set_slow_query_threshold t ms = t.slow_ms <- ms
 let slow_queries t = t.slow_log
@@ -133,11 +158,13 @@ let do_update t ~table:name ~sets ~where =
       sets
   in
   let victims = List.of_seq (Planner.table_candidates tbl pred) in
-  (* statement-level constraint semantics: compute all new tuples, remove
-     every victim from the table (and its indexes), then reinsert — so a
-     multi-row UPDATE that shifts a uniquely indexed column never trips over
-     its own transient duplicates. *)
-  let replacements =
+  (* statement-level constraint semantics: compute every new tuple first,
+     then apply them as one bulk in-place update — rowids are preserved, only
+     indexes whose key changed are maintained, and a multi-row UPDATE that
+     shifts a uniquely indexed column never trips over its own transient
+     duplicates (Table.update_rows deletes all changed old keys per index
+     before inserting any new ones). *)
+  let changes =
     List.map
       (fun (rowid, old) ->
         let tuple = Array.copy old in
@@ -146,27 +173,11 @@ let do_update t ~table:name ~sets ~where =
             tuple.(i) <-
               (try Expr.eval e old with Expr.Eval_error m -> fail "%s" m))
           sets;
-        (rowid, old, tuple))
+        (rowid, tuple))
       victims
   in
-  List.iter (fun (rowid, _, _) -> Table.delete tbl rowid) replacements;
-  (try
-     List.iter (fun (_, _, tuple) -> ignore (Table.insert tbl tuple)) replacements
-   with Table.Constraint_violation m ->
-     (* restore untouched rows; rows already reinserted keep their new
-        values would be wrong, so rebuild from the old images *)
-     List.iter
-       (fun (_, old, tuple) ->
-         (match
-            List.find_opt
-              (fun (_, t) -> t == tuple)
-              (List.of_seq (Table.scan tbl))
-          with
-         | Some (rid, _) -> Table.delete tbl rid
-         | None -> ());
-         ignore (Table.insert tbl old))
-       replacements
-     |> fun () -> fail "%s" m);
+  (try Table.update_rows tbl changes
+   with Table.Constraint_violation m -> fail "%s" m);
   Affected (List.length victims)
 
 let do_delete t ~table:name ~where =
@@ -204,6 +215,8 @@ let do_create_index t ~name ~table:tname ~columns ~unique =
   in
   (try ignore (Table.create_index tbl ~name ~cols ~unique)
    with Table.Constraint_violation m -> fail "%s" m);
+  (* a new index changes the available access paths: cached plans are stale *)
+  Catalog.bump_version t.cat;
   Affected 0
 
 let plan_of_select t q =
@@ -267,22 +280,105 @@ let exec_stmt t stmt =
 let parse_stmt sql =
   try Sql_parser.parse sql with Sql_parser.Parse_error m -> fail "%s" m
 
+(* --- plan cache ------------------------------------------------------- *)
+(* Only SELECT/UNION ALL plans are cached (DML re-evaluates its constants and
+   takes different code paths). The key is the raw SQL text, looked up BEFORE
+   lexing — a hit skips parse, simplify and planning entirely. Entries are
+   validated against the catalog version; DDL and CREATE INDEX bump it, and
+   [restore] builds a fresh Db, so stale plans are never served. *)
+
+let cache_touch t entry =
+  t.cache_tick <- t.cache_tick + 1;
+  entry.ce_tick <- t.cache_tick
+
+let cache_lookup t sql =
+  match Hashtbl.find_opt t.plan_cache sql with
+  | Some entry
+    when entry.ce_version = Catalog.version t.cat
+         && entry.ce_simplify = !Simplify.enabled ->
+      cache_touch t entry;
+      t.cache_hits <- t.cache_hits + 1;
+      Obs.incr "db.plan_cache.hit";
+      Some entry.ce_plan
+  | Some _ ->
+      Hashtbl.remove t.plan_cache sql;
+      None
+  | None -> None
+
+let cache_store t sql plan =
+  if Hashtbl.length t.plan_cache >= plan_cache_cap then begin
+    (* evict the least recently used entry; O(n) over a small fixed cap *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key entry ->
+        match !victim with
+        | Some (_, best) when entry.ce_tick >= best -> ()
+        | _ -> victim := Some (key, entry.ce_tick))
+      t.plan_cache;
+    match !victim with
+    | Some (key, _) -> Hashtbl.remove t.plan_cache key
+    | None -> ()
+  end;
+  t.cache_tick <- t.cache_tick + 1;
+  Hashtbl.replace t.plan_cache sql
+    {
+      ce_version = Catalog.version t.cat;
+      ce_simplify = !Simplify.enabled;
+      ce_plan = plan;
+      ce_tick = t.cache_tick;
+    }
+
+let plan_cache_stats t =
+  (t.cache_hits, t.cache_misses, Hashtbl.length t.plan_cache)
+
+(* Execute an already-parsed statement, populating the plan cache on SELECT
+   misses. [sql] is the cache key. *)
+let exec_parsed t ~sql stmt =
+  if Sql_ast.param_count stmt > 0 then
+    fail "statement has unbound parameters; use Db.prepare and bind values";
+  match stmt with
+  | Sql_ast.Select q ->
+      let plan = Obs.Span.with_ "plan" (fun () -> plan_of_select t q) in
+      t.cache_misses <- t.cache_misses + 1;
+      Obs.incr "db.plan_cache.miss";
+      cache_store t sql plan;
+      run_select plan
+  | Sql_ast.Union_all qs ->
+      let plan = Obs.Span.with_ "plan" (fun () -> union_plan t qs) in
+      t.cache_misses <- t.cache_misses + 1;
+      Obs.incr "db.plan_cache.miss";
+      cache_store t sql plan;
+      run_select plan
+  | stmt -> exec_stmt t stmt
+
+let note_slow t ~sql ms =
+  match t.slow_ms with
+  | Some threshold when ms >= threshold ->
+      let log = (ms, sql) :: t.slow_log in
+      t.slow_log <-
+        (if List.length log > slow_log_cap then
+           List.filteri (fun i _ -> i < slow_log_cap) log
+         else log)
+  | _ -> ()
+
 let exec t sql =
-  if not (Obs.enabled ()) then exec_stmt t (parse_stmt sql)
+  if not (Obs.enabled ()) then
+    match cache_lookup t sql with
+    | Some plan -> run_select plan
+    | None -> exec_parsed t ~sql (parse_stmt sql)
   else begin
     let t0 = Obs.Clock.now_ns () in
-    let stmt = Obs.Span.with_ "sql-parse" (fun () -> parse_stmt sql) in
-    let result = exec_stmt t stmt in
+    let kind, result =
+      match cache_lookup t sql with
+      | Some plan -> ("select", run_select plan)
+      | None ->
+          let stmt = Obs.Span.with_ "sql-parse" (fun () -> parse_stmt sql) in
+          (stmt_kind stmt, exec_parsed t ~sql stmt)
+    in
     let ms = Obs.Clock.since_ms t0 in
     Obs.incr "db.statements";
-    Obs.observe ("db.exec." ^ stmt_kind stmt) ms;
-    (match t.slow_ms with
-    | Some threshold when ms >= threshold ->
-        let log = (ms, sql) :: t.slow_log in
-        t.slow_log <-
-          (if List.length log > slow_log_cap then List.filteri (fun i _ -> i < slow_log_cap) log
-           else log)
-    | _ -> ());
+    Obs.observe ("db.exec." ^ kind) ms;
+    note_slow t ~sql ms;
     result
   end
 
@@ -294,7 +390,113 @@ let query t sql =
 let query_one t sql =
   match query t sql with [] -> None | r :: _ -> Some r
 
-let exec_script t stmts = List.iter (fun s -> ignore (exec t s)) stmts
+(* --- prepared statements ---------------------------------------------- *)
+
+type stmt = {
+  ps_db : t;
+  ps_sql : string;
+  ps_ast : Sql_ast.stmt;
+  ps_nparams : int;
+}
+
+let prepare t sql =
+  let t0 = Obs.Clock.now_ns () in
+  let ast = parse_stmt sql in
+  let s = { ps_db = t; ps_sql = sql; ps_ast = ast; ps_nparams = Sql_ast.param_count ast } in
+  if Obs.enabled () then Obs.observe "db.prepare" (Obs.Clock.since_ms t0);
+  s
+
+module Stmt = struct
+  let param_count s = s.ps_nparams
+  let sql s = s.ps_sql
+
+  (* Parameters are substituted into the AST before planning, so the planner
+     sees ordinary constants and can match index access paths. Bound plans
+     are NOT stored in the plan cache: the cache key is the [?]-form text,
+     which would alias different bindings. *)
+  let exec s params =
+    let t = s.ps_db in
+    if Array.length params <> s.ps_nparams then
+      fail "prepared statement expects %d parameter(s), got %d" s.ps_nparams
+        (Array.length params);
+    let bound =
+      try Sql_ast.bind_params params s.ps_ast
+      with Sql_ast.Bind_error m -> fail "%s" m
+    in
+    if not (Obs.enabled ()) then exec_stmt t bound
+    else begin
+      let t0 = Obs.Clock.now_ns () in
+      let result = exec_stmt t bound in
+      let ms = Obs.Clock.since_ms t0 in
+      Obs.incr "db.statements";
+      Obs.observe ("db.exec." ^ stmt_kind bound) ms;
+      note_slow t ~sql:s.ps_sql ms;
+      result
+    end
+
+  let query s params =
+    match exec s params with
+    | Rows { tuples; _ } -> tuples
+    | Affected _ -> fail "expected a SELECT statement"
+end
+
+(* --- bulk writes ------------------------------------------------------- *)
+
+(* Fast path for loading many rows into one table: skips SQL entirely.
+   Atomic: a constraint violation removes the rows inserted so far. *)
+let insert_many t name rows =
+  let tbl = table t name in
+  let inserted = ref [] in
+  (try
+     List.iter
+       (fun row -> inserted := Table.insert tbl row :: !inserted)
+       rows
+   with Table.Constraint_violation m ->
+     List.iter (fun rowid -> Table.delete tbl rowid) !inserted;
+     fail "%s" m);
+  List.length rows
+
+(* --- scripts ----------------------------------------------------------- *)
+
+(* Each statement is parsed exactly once. Runs of DML execute inside one
+   implicit transaction (opened lazily, committed before any DDL or explicit
+   transaction-control statement, which must run outside a journal); if the
+   caller already holds a transaction, statements just run in it. *)
+let exec_script t stmts =
+  let parsed = List.map (fun s -> (s, parse_stmt s)) stmts in
+  if t.txn then
+    List.iter (fun (sql, ast) -> ignore (exec_parsed t ~sql ast)) parsed
+  else begin
+    let open_bracket = ref false in
+    let close () =
+      if !open_bracket then begin
+        commit t;
+        open_bracket := false
+      end
+    in
+    try
+      List.iter
+        (fun (sql, ast) ->
+          (match ast with
+          | Sql_ast.Create_table _ | Sql_ast.Create_index _
+          | Sql_ast.Drop_table _ | Sql_ast.Begin_txn | Sql_ast.Commit_txn
+          | Sql_ast.Rollback_txn ->
+              close ()
+          | Sql_ast.Select _ | Sql_ast.Union_all _ | Sql_ast.Insert _
+          | Sql_ast.Update _ | Sql_ast.Delete _ ->
+              if (not !open_bracket) && not t.txn then begin
+                begin_txn t;
+                open_bracket := true
+              end);
+          ignore (exec_parsed t ~sql ast);
+          (* an explicit BEGIN inside the script takes over bracketing *)
+          if !open_bracket && not t.txn then open_bracket := false)
+        parsed;
+      close ()
+    with e ->
+      if !open_bracket && t.txn then rollback t;
+      raise e
+  end
 
 let explain t sql =
   match Sql_parser.parse sql with
@@ -453,7 +655,7 @@ let split_statements script =
 
 let restore script =
   let t = create () in
-  List.iter (fun stmt -> ignore (exec t stmt)) (split_statements script);
+  exec_script t (split_statements script);
   t
 
 let restore_from_file path =

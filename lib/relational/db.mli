@@ -25,7 +25,61 @@ val query_one : t -> string -> Tuple.t option
 (** First row of a SELECT, if any. *)
 
 val exec_script : t -> string list -> unit
-(** Run a list of statements, discarding results. *)
+(** Run a list of statements, discarding results. Each statement is parsed
+    exactly once, and maximal runs of DML execute inside one implicit
+    transaction (committed before any DDL or explicit transaction-control
+    statement, rolled back if a statement raises). If a transaction is
+    already active the statements simply run inside it. *)
+
+(** {2 Prepared statements}
+
+    [?] positional placeholders in any expression position are bound at
+    execution time. Binding substitutes the values into the AST {e before}
+    planning, so the planner matches index access paths exactly as if the
+    literals had been inlined. *)
+
+type stmt
+(** A parsed statement with [?] placeholders, tied to the {!t} that
+    prepared it. *)
+
+val prepare : t -> string -> stmt
+(** Parse once for repeated execution. Records a [db.prepare] histogram
+    sample when [Obs.enabled ()].
+    @raise Sql_error on parse errors. *)
+
+module Stmt : sig
+  val exec : stmt -> Value.t array -> result
+  (** Bind [params] (positional, left to right) and execute.
+      @raise Sql_error if the arity does not match {!param_count} or on
+      plan/execution errors. *)
+
+  val query : stmt -> Value.t array -> Tuple.t list
+  (** As {!exec}, returning rows. @raise Sql_error if not a SELECT. *)
+
+  val param_count : stmt -> int
+  val sql : stmt -> string
+end
+
+(** {2 Bulk writes} *)
+
+val insert_many : t -> string -> Tuple.t list -> int
+(** Insert pre-built tuples into a table, bypassing SQL parsing entirely
+    (the loader fast path). Returns the number of rows inserted. Atomic: on
+    constraint violation the rows inserted so far are removed and
+    [Sql_error] is raised. *)
+
+(** {2 Plan cache}
+
+    SELECT / UNION ALL plans are cached keyed by raw SQL text (LRU, 128
+    entries); a repeated query skips lexing, parsing, simplification and
+    planning. Entries are invalidated by a catalog version counter bumped on
+    every CREATE/DROP TABLE and CREATE INDEX, and {!restore} starts from an
+    empty cache. Counted in [db.plan_cache.hit] / [db.plan_cache.miss] Obs
+    counters (misses count only cacheable, i.e. SELECT, statements). *)
+
+val plan_cache_stats : t -> int * int * int
+(** [(hits, misses, entries)] since creation, counted even when Obs is
+    disabled. *)
 
 val explain : t -> string -> string
 (** The physical plan chosen for a SELECT, rendered as an indented tree. *)

@@ -5,6 +5,7 @@ type func = Length | Abs | Lower | Upper | Substr
 type t =
   | Const of Value.t
   | Col of int
+  | Param of int  (* positional ? placeholder, 0-based; bound before eval *)
   | Cmp of cmp * t * t
   | And of t * t
   | Or of t * t
@@ -77,6 +78,7 @@ let num_arith op a b =
 let rec eval e tuple =
   match e with
   | Const v -> v
+  | Param i -> err "unbound parameter ?%d" (i + 1)
   | Col i ->
       if i < 0 || i >= Array.length tuple then
         err "column %d out of range (arity %d)" i (Array.length tuple)
@@ -170,7 +172,7 @@ let eval_bool e tuple =
 let columns e =
   let acc = ref [] in
   let rec go = function
-    | Const _ -> ()
+    | Const _ | Param _ -> ()
     | Col i -> acc := i :: !acc
     | Cmp (_, a, b) | And (a, b) | Or (a, b) | Arith (_, a, b) | Concat (a, b) ->
         go a;
@@ -186,6 +188,7 @@ let rec map_columns f e =
   let s = map_columns f in
   match e with
   | Const v -> Const v
+  | Param i -> Param i
   | Col i -> Col (f i)
   | Cmp (op, a, b) -> Cmp (op, s a, s b)
   | And (a, b) -> And (s a, s b)
@@ -229,6 +232,7 @@ let func_name = function
 
 let rec pp ppf = function
   | Const v -> Format.pp_print_string ppf (Value.to_sql_literal v)
+  | Param i -> Format.fprintf ppf "?%d" (i + 1)
   | Col i -> Format.fprintf ppf "#%d" i
   | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmp_name op) pp b
   | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b

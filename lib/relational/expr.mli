@@ -11,6 +11,11 @@ type func = Length | Abs | Lower | Upper | Substr
 type t =
   | Const of Value.t
   | Col of int
+  | Param of int
+      (** Positional [?] placeholder (0-based). Plans may carry unbound
+          parameters (e.g. for EXPLAIN of a prepared statement); evaluating
+          one raises {!Eval_error} — {!Db.prepare} substitutes constants
+          before execution. *)
   | Cmp of cmp * t * t
   | And of t * t
   | Or of t * t

@@ -47,6 +47,7 @@ type t =
 let expr_type schema (e : Expr.t) : Value.ty =
   let rec go = function
     | Expr.Const v -> Option.value (Value.type_of v) ~default:Value.Ttext
+    | Expr.Param _ -> Value.Ttext
     | Expr.Col i ->
         if i < Array.length schema then schema.(i).Schema.col_type
         else Value.Ttext

@@ -66,6 +66,7 @@ let resolve_col env qualifier name =
 let rec resolve env (e : Sql_ast.sexpr) : Expr.t =
   match e with
   | Sql_ast.E_const v -> Expr.Const v
+  | Sql_ast.E_param i -> Expr.Param i
   | Sql_ast.E_col (q, n) -> Expr.Col (resolve_col env q n)
   | Sql_ast.E_cmp (op, a, b) -> Expr.Cmp (op, resolve env a, resolve env b)
   | Sql_ast.E_and (a, b) -> Expr.And (resolve env a, resolve env b)
@@ -97,7 +98,8 @@ let rec contains_agg (e : Sql_ast.sexpr) =
   match e with
   | Sql_ast.E_func (name, args) ->
       List.mem name agg_funcs || List.exists contains_agg args
-  | Sql_ast.E_const _ | Sql_ast.E_col _ | Sql_ast.E_star -> false
+  | Sql_ast.E_const _ | Sql_ast.E_param _ | Sql_ast.E_col _ | Sql_ast.E_star ->
+      false
   | Sql_ast.E_cmp (_, a, b)
   | Sql_ast.E_and (a, b)
   | Sql_ast.E_or (a, b)
@@ -695,6 +697,7 @@ let plan_select catalog (q : Sql_ast.select) =
 
     and resolve_over_agg_structural (e : Sql_ast.sexpr) : Expr.t =
       match e with
+      | Sql_ast.E_param i -> Expr.Param i
       | Sql_ast.E_cmp (op, a, b) ->
           Expr.Cmp (op, resolve_over_agg a, resolve_over_agg b)
       | Sql_ast.E_and (a, b) -> Expr.And (resolve_over_agg a, resolve_over_agg b)
@@ -790,6 +793,7 @@ let resolve_expr_for_table table e =
   let rec go (e : Sql_ast.sexpr) : Expr.t =
     match e with
     | Sql_ast.E_const v -> Expr.Const v
+    | Sql_ast.E_param i -> Expr.Param i
     | Sql_ast.E_col (q, n) -> Expr.Col (env_resolve q n)
     | Sql_ast.E_cmp (op, a, b) -> Expr.Cmp (op, go a, go b)
     | Sql_ast.E_and (a, b) -> Expr.And (go a, go b)

@@ -2,6 +2,9 @@ let enabled = ref true
 
 let rec has_col = function
   | Expr.Col _ -> true
+  (* A parameter is not a constant we can fold; treating it like a column
+     keeps the rewriter from trying. *)
+  | Expr.Param _ -> true
   | Expr.Const _ -> false
   | Expr.Cmp (_, a, b)
   | Expr.And (a, b)
@@ -35,7 +38,7 @@ let const_false = Expr.Const (Value.Int 0)
 let rec fold (e : Expr.t) : Expr.t =
   let e =
     match e with
-    | Expr.Const _ | Expr.Col _ -> e
+    | Expr.Const _ | Expr.Col _ | Expr.Param _ -> e
     | Expr.Cmp (op, a, b) -> Expr.Cmp (op, fold a, fold b)
     | Expr.And (a, b) -> Expr.And (fold a, fold b)
     | Expr.Or (a, b) -> Expr.Or (fold a, fold b)

@@ -138,7 +138,7 @@ let tokenize src =
       | _ -> (
           match c with
           | '(' | ')' | ',' | '.' | '=' | '<' | '>' | '+' | '-' | '*' | '/'
-          | '%' | ';' ->
+          | '%' | ';' | '?' ->
               emit (Sym (String.make 1 c));
               incr i
           | c -> raise (Error (Printf.sprintf "unexpected character %C" c)))

@@ -4,7 +4,7 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
-type state = { mutable toks : Sql_lexer.token list }
+type state = { mutable toks : Sql_lexer.token list; mutable params : int }
 
 let peek st = match st.toks with [] -> Sql_lexer.Eof | t :: _ -> t
 
@@ -246,6 +246,11 @@ and parse_primary st =
   | Sql_lexer.Sym "*" ->
       advance st;
       E_star
+  | Sql_lexer.Sym "?" ->
+      advance st;
+      let i = st.params in
+      st.params <- st.params + 1;
+      E_param i
   | Sql_lexer.Ident name ->
       advance st;
       if try_sym st "(" then begin
@@ -487,14 +492,14 @@ let finish st =
 
 let parse src =
   let toks = try Sql_lexer.tokenize src with Sql_lexer.Error m -> fail "%s" m in
-  let st = { toks } in
+  let st = { toks; params = 0 } in
   let stmt = parse_stmt st in
   finish st;
   stmt
 
 let parse_expr src =
   let toks = try Sql_lexer.tokenize src with Sql_lexer.Error m -> fail "%s" m in
-  let st = { toks } in
+  let st = { toks; params = 0 } in
   let e = parse_or st in
   finish st;
   e

@@ -136,6 +136,71 @@ let update t rowid tuple =
       t.writes <- t.writes + 1;
       record t (U_update (rowid, old))
 
+(* Statement-level bulk update. Rowids are preserved (rows are overwritten in
+   place, not deleted and re-inserted) and each index is maintained only for
+   the rows whose key under THAT index actually changed — an UPDATE that
+   shifts g_order never touches the id index, and a value-only UPDATE touches
+   no index at all. Atomic with respect to unique-key violations. *)
+let update_rows t changes =
+  let images =
+    List.map
+      (fun (rowid, tu) ->
+        validate t tu;
+        match Vec.get t.slots rowid with
+        | None -> invalid_arg "Table.update_rows: row deleted"
+        | Some old -> (rowid, old, tu))
+      changes
+  in
+  let per_idx =
+    List.map
+      (fun idx ->
+        ( idx,
+          List.filter
+            (fun (rowid, old, tu) ->
+              index_key idx ~rowid old <> index_key idx ~rowid tu)
+            images ))
+      t.idxs
+  in
+  let undo_index (idx, rows) =
+    List.iter (fun (rowid, _, tu) -> index_delete idx rowid tu) rows;
+    List.iter (fun (rowid, old, _) -> index_insert t idx rowid old) rows
+  in
+  let apply_index (idx, rows) =
+    List.iter (fun (rowid, old, _) -> index_delete idx rowid old) rows;
+    let inserted = ref [] in
+    try
+      List.iter
+        (fun (rowid, _, tu) ->
+          index_insert t idx rowid tu;
+          inserted := (rowid, tu) :: !inserted)
+        rows
+    with Constraint_violation _ as e ->
+      List.iter (fun (rowid, tu) -> index_delete idx rowid tu) !inserted;
+      List.iter (fun (rowid, old, _) -> index_insert t idx rowid old) rows;
+      raise e
+  in
+  let completed = ref [] in
+  (try
+     List.iter
+       (fun entry ->
+         apply_index entry;
+         completed := entry :: !completed)
+       per_idx
+   with Constraint_violation _ as e ->
+     List.iter undo_index !completed;
+     raise e);
+  (* Journal the batch as delete-all + reinsert-all rather than per-row
+     U_update entries: rollback replays newest-first, so all the new images
+     are removed before any old image is restored — per-row U_update replay
+     could transiently collide on a unique key mid-unwind. *)
+  List.iter (fun (rowid, old, _) -> record t (U_delete (rowid, old))) images;
+  List.iter
+    (fun (rowid, _, tu) ->
+      Vec.set t.slots rowid (Some tu);
+      record t (U_insert rowid))
+    images;
+  t.writes <- t.writes + List.length images
+
 let row_count t = t.live
 
 let scan t =

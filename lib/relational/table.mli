@@ -38,6 +38,14 @@ val delete : t -> int -> unit
 val update : t -> int -> Tuple.t -> unit
 (** Replace the row, maintaining all indexes. *)
 
+val update_rows : t -> (int * Tuple.t) list -> unit
+(** Statement-level bulk update: overwrite each row in place (rowids stable)
+    and maintain only the indexes whose key actually changed for a given row.
+    Atomic: a unique-key violation rolls back every index change and leaves
+    all rows untouched.
+    @raise Constraint_violation on schema or unique-key violation.
+    @raise Invalid_argument if any rowid refers to a deleted row. *)
+
 val get : t -> int -> Tuple.t option
 (** [None] if the slot was deleted. *)
 

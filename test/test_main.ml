@@ -15,8 +15,10 @@ let () =
       Test_translate.tests;
       Test_translate_sql.tests;
       Test_analysis.tests;
+      Test_prepared.tests;
       Test_update.tests;
       Test_api.tests;
       Test_flwor.tests;
       Test_fuzz.tests;
+      Test_differential.tests;
     ]
