@@ -1,6 +1,6 @@
 OXQ = dune exec --no-print-directory bin/oxq.exe --
 
-.PHONY: all build test lint check bench bench-smoke experiments clean
+.PHONY: all build test lint check crash-test bench bench-smoke experiments clean
 
 all: build
 
@@ -16,9 +16,14 @@ lint:
 	$(OXQ) lint '/catalog/book[author]/title'
 	$(OXQ) lint --sql 'SELECT a.id FROM doc_global a, doc_global b WHERE a.parent = b.id'
 
-# build + tier-1 tests + CLI smoke test over the quickstart catalog.
-# Run this before recording a change in CHANGES.md.
-check: build test lint bench-smoke
+# fault injection: truncate the WAL at every byte offset and kill at every
+# commit / checkpoint step, asserting recovery is always prefix-consistent
+crash-test:
+	dune exec --no-print-directory test/test_main.exe -- test wal-crash
+
+# build + tier-1 tests + fault injection + CLI smoke test over the
+# quickstart catalog. Run this before recording a change in CHANGES.md.
+check: build test lint crash-test bench-smoke
 	$(OXQ) stats examples/catalog.xml -e dewey
 	$(OXQ) query examples/catalog.xml '/catalog/book[1]/title' --trace
 	@echo "check: OK"

@@ -1,7 +1,7 @@
 (* Experiment harness: regenerates every table/figure of the evaluation
    (DESIGN.md section 6, EXPERIMENTS.md for the recorded results).
 
-   Usage:  dune exec bin/experiments.exe -- [e1|e2|...|e9|e11|all]
+   Usage:  dune exec bin/experiments.exe -- [e1|e2|...|e9|e11|e13|all]
    Times come from the monotonic clock (Obs.Clock); phase breakdowns (E11)
    are derived from the library's own spans; "rows" are logical rows
    read/written in the storage engine. *)
@@ -393,9 +393,91 @@ let e11 () =
       print_newline ())
     (encodings @ [ O.Encoding.Global_gap; O.Encoding.Dewey_caret ])
 
+(* ----------------------------------------------------------------- E13 *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_tmp_db ?fsync f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oxq_e13_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir (Reldb.Db.open_dir ?fsync dir))
+
+let e13 () =
+  header "E13: WAL overhead per insert, recovery time vs log length";
+  let create_stmt = "CREATE TABLE t (id INT NOT NULL, v TEXT)" in
+  let insert i = Printf.sprintf "INSERT INTO t VALUES (%d, 'row %d')" i i in
+  let run_inserts db n =
+    time_ms (fun () ->
+        for i = 1 to n do
+          ignore (Reldb.Db.exec db (insert i))
+        done)
+  in
+  (* per-insert cost: autocommit single-row INSERTs, each one WAL record *)
+  let mem_n = 2000 in
+  let mem_db = Reldb.Db.create () in
+  ignore (Reldb.Db.exec mem_db create_stmt);
+  let mem_ms = run_inserts mem_db mem_n in
+  let mem_us = mem_ms *. 1000.0 /. float_of_int mem_n in
+  Printf.printf "%-22s %10s %12s %10s\n" "configuration" "inserts" "us/insert"
+    "overhead";
+  Printf.printf "%-22s %10d %12.2f %10s\n" "in-memory" mem_n mem_us "1.0x";
+  List.iter
+    (fun (label, policy, n) ->
+      with_tmp_db ~fsync:policy (fun _dir db ->
+          ignore (Reldb.Db.exec db create_stmt);
+          let ms = run_inserts db n in
+          let us = ms *. 1000.0 /. float_of_int n in
+          Printf.printf "%-22s %10d %12.2f %9.1fx\n" label n us (us /. mem_us);
+          Reldb.Db.close db))
+    [
+      ("durable fsync=never", Reldb.Wal.Never, 2000);
+      ("durable fsync=every32", Reldb.Wal.Every 32, 2000);
+      ("durable fsync=always", Reldb.Wal.Always, 300);
+    ];
+  (* recovery time as the log grows, and after folding it into a checkpoint *)
+  Printf.printf "\n%-14s %14s %14s %18s\n" "log (inserts)" "recovery ms"
+    "wal bytes" "post-ckpt rec ms";
+  List.iter
+    (fun n ->
+      with_tmp_db ~fsync:Reldb.Wal.Never (fun dir db ->
+          ignore (Reldb.Db.exec db create_stmt);
+          for i = 1 to n do
+            ignore (Reldb.Db.exec db (insert i))
+          done;
+          let wal_bytes = Reldb.Db.wal_size db in
+          Reldb.Db.close db;
+          let db2 = Reldb.Db.open_dir dir in
+          let replay_ms =
+            match Reldb.Db.last_recovery db2 with
+            | Some r -> r.Reldb.Db.rec_ms
+            | None -> nan
+          in
+          Reldb.Db.checkpoint db2;
+          Reldb.Db.close db2;
+          let db3 = Reldb.Db.open_dir dir in
+          let ckpt_ms =
+            match Reldb.Db.last_recovery db3 with
+            | Some r -> r.Reldb.Db.rec_ms
+            | None -> nan
+          in
+          Reldb.Db.close db3;
+          Printf.printf "%-14d %14.2f %14d %18.2f\n" n replay_ms wal_bytes
+            ckpt_ms))
+    [ 1000; 4000; 16000 ]
+
 let all =
   [ ("e1", e1); ("e2", e2); ("e2b", e2b); ("e3", e3); ("e4", e4); ("e5", e5);
-    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11) ]
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11);
+    ("e13", e13) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -409,6 +491,6 @@ let () =
       match List.assoc_opt id all with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown experiment %s (want e1..e11 or all)\n" id;
+          Printf.eprintf "unknown experiment %s (want e1..e13 or all)\n" id;
           exit 1)
     targets

@@ -17,16 +17,39 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* .sql files are engine dumps (see `oxq dump`); anything else is XML *)
-let load_store path enc =
-  if Filename.check_suffix path ".sql" then
-    let db = Reldb.Db.restore_from_file path in
-    (db, O.Api.Store.open_existing db ~name:"doc" enc)
-  else begin
-    let doc = Xmllib.Parser.parse_document (read_file path) in
-    let db = Reldb.Db.create () in
-    (db, O.Api.Store.create db ~name:"doc" enc doc)
-  end
+(* .sql files are engine dumps (see `oxq dump`); anything else is XML.
+   With [--db DIR] the engine is durable: the first run shreds the input
+   into DIR (checkpoint + write-ahead log) and later runs recover from DIR,
+   ignoring the input file's contents. *)
+let load_store ?db_dir path enc =
+  match db_dir with
+  | Some dir -> (
+      let db = Reldb.Db.open_dir dir in
+      match O.Api.Store.open_existing db ~name:"doc" enc with
+      | store -> (db, store)
+      | exception Reldb.Db.Sql_error _ ->
+          let doc = Xmllib.Parser.parse_document (read_file path) in
+          (db, O.Api.Store.create db ~name:"doc" enc doc))
+  | None ->
+      if Filename.check_suffix path ".sql" then
+        let db = Reldb.Db.restore_from_file path in
+        (db, O.Api.Store.open_existing db ~name:"doc" enc)
+      else begin
+        let doc = Xmllib.Parser.parse_document (read_file path) in
+        let db = Reldb.Db.create () in
+        (db, O.Api.Store.create db ~name:"doc" enc doc)
+      end
+
+let db_dir_opt =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:
+          "Open a durable database in $(docv) (created on first use): the \
+           document is recovered from its checkpoint and write-ahead log \
+           instead of being reshredded, and committed writes survive \
+           crashes. The XML input only seeds $(docv) on the first run.")
 
 let enc_arg =
   let parse s =
@@ -74,11 +97,13 @@ let trace_flag =
            statements) after the results.")
 
 let query_cmd =
-  let run enc path q trace =
+  let run enc path q trace db_dir =
     wrap (fun () ->
         let go () =
-          let _, store = load_store path enc in
-          O.Api.Store.query_nodes store q
+          let db, store = load_store ?db_dir path enc in
+          let nodes = O.Api.Store.query_nodes store q in
+          Reldb.Db.close db;
+          nodes
         in
         let nodes, spans =
           if trace then Obs.Span.collect go else (go (), [])
@@ -93,7 +118,8 @@ let query_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "query" ~doc:"Evaluate an XPath query; print matches as XML.")
-    Cmdliner.Term.(const run $ encoding $ file $ xpath $ trace_flag)
+    Cmdliner.Term.(
+      const run $ encoding $ file $ xpath $ trace_flag $ db_dir_opt)
 
 let analyze_flag =
   Cmdliner.Arg.(
@@ -105,9 +131,10 @@ let analyze_flag =
            row counts, loop counts and per-operator time.")
 
 let sql_cmd =
-  let run enc path q analyze =
+  let run enc path q analyze db_dir =
     wrap (fun () ->
-        let db, store = load_store path enc in
+        let db, store = load_store ?db_dir path enc in
+        Fun.protect ~finally:(fun () -> Reldb.Db.close db) @@ fun () ->
         let r = O.Api.Store.query store q in
         Printf.printf "-- step-at-a-time: %d statement(s), %d result node(s)\n"
           r.O.Translate.statements
@@ -127,7 +154,8 @@ let sql_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "sql" ~doc:"Show the SQL a query translates to.")
-    Cmdliner.Term.(const run $ encoding $ file $ xpath $ analyze_flag)
+    Cmdliner.Term.(
+      const run $ encoding $ file $ xpath $ analyze_flag $ db_dir_opt)
 
 let stats_cmd =
   let run enc path =
@@ -153,36 +181,38 @@ let stats_cmd =
     Cmdliner.Term.(const run $ encoding $ file)
 
 let tables_cmd =
-  let run enc path =
+  let run enc path db_dir =
     wrap (fun () ->
-        let db, store = load_store path enc in
+        let db, store = load_store ?db_dir path enc in
         ignore store;
         let tname = O.Encoding.table_name ~doc:"doc" enc in
         print_string
           (Reldb.Db.render
              (Reldb.Db.exec db (Printf.sprintf "SELECT * FROM %s" tname)));
-        print_newline ())
+        print_newline ();
+        Reldb.Db.close db)
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "tables" ~doc:"Dump the shredded edge table.")
-    Cmdliner.Term.(const run $ encoding $ file)
+    Cmdliner.Term.(const run $ encoding $ file $ db_dir_opt)
 
 let flwor_cmd =
   let q =
     Cmdliner.Arg.(
       required & pos 1 (some string) None & info [] ~docv:"FLWOR" ~doc:"Query.")
   in
-  let run enc path q =
+  let run enc path q db_dir =
     wrap (fun () ->
-        let _, store = load_store path enc in
+        let db, store = load_store ?db_dir path enc in
         List.iter
           (fun n -> print_string (Xmllib.Printer.pretty ~indent:2 n))
-          (O.Api.Store.flwor store q))
+          (O.Api.Store.flwor store q);
+        Reldb.Db.close db)
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "flwor"
        ~doc:"Run a FLWOR-lite publishing query (for/let/where/order/return).")
-    Cmdliner.Term.(const run $ encoding $ file $ q)
+    Cmdliner.Term.(const run $ encoding $ file $ q $ db_dir_opt)
 
 let validate_cmd =
   let dtd_file =
@@ -217,18 +247,19 @@ let dump_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT.sql" ~doc:"Output SQL script.")
   in
-  let run enc path out =
+  let run enc path out db_dir =
     wrap (fun () ->
-        let db, _ = load_store path enc in
+        let db, _ = load_store ?db_dir path enc in
         Reldb.Db.dump_to_file db out;
-        Printf.printf "wrote %s\n" out)
+        Printf.printf "wrote %s\n" out;
+        Reldb.Db.close db)
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "dump"
        ~doc:
          "Shred the document and write the whole database as a SQL script \
           (reload it by passing the .sql file to query/sql/tables).")
-    Cmdliner.Term.(const run $ encoding $ file $ out)
+    Cmdliner.Term.(const run $ encoding $ file $ out $ db_dir_opt)
 
 (* ------------------------------------------------------------------ *)
 (* Static analysis (oxq lint)                                          *)

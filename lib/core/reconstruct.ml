@@ -185,17 +185,10 @@ let serialize_rows buf rows =
           | Doc_index.Text_node ->
               Buffer.add_string buf (Xmllib.Printer.escape_text r.Node_row.value)
           | Doc_index.Comment_node ->
-              Buffer.add_string buf "<!--";
-              Buffer.add_string buf r.Node_row.value;
-              Buffer.add_string buf "-->"
+              Xmllib.Printer.add_comment buf r.Node_row.value
           | Doc_index.Pi_node ->
-              Buffer.add_string buf "<?";
-              Buffer.add_string buf r.Node_row.tag;
-              if r.Node_row.value <> "" then begin
-                Buffer.add_char buf ' ';
-                Buffer.add_string buf r.Node_row.value
-              end;
-              Buffer.add_string buf "?>"
+              Xmllib.Printer.add_pi buf ~target:r.Node_row.tag
+                ~data:r.Node_row.value
           | Doc_index.Attr -> assert false))
     rows;
   while !stack <> [] do

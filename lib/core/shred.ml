@@ -105,7 +105,15 @@ let shred_stream ?gap db ~doc enc src =
    ~attrs:[ ("doc", doc); ("encoding", Encoding.name enc); ("mode", "stream") ]
  @@ fun () ->
   Encoding.create_tables db ~doc enc;
-  let table = Reldb.Db.table db (Encoding.table_name ~doc enc) in
+  let tname = Encoding.table_name ~doc enc in
+  let table = Reldb.Db.table db tname in
+  (* durable databases go through the engine so each row is WAL-logged;
+     the in-memory path keeps the direct heap insert *)
+  let insert_tuple =
+    if Reldb.Db.is_durable db then fun row ->
+      ignore (Reldb.Db.insert_row db tname row)
+    else fun row -> ignore (Reldb.Table.insert table row)
+  in
   let gap =
     match enc with
     | Encoding.Global -> 1
@@ -152,7 +160,7 @@ let shred_stream ?gap db ~doc enc src =
           Array.append prefix
             [| V.Int (Dewey.depth dewey); V.Bytes (Dewey.encode (caretify dewey)) |]
     in
-    ignore (Reldb.Table.insert table row)
+    insert_tuple row
   in
   let leaf ~kind ~tag ~value =
     let id = next_id () in

@@ -85,10 +85,10 @@ let fragment_size idx = Doc_index.length idx - 1
 
 (* --- shared row construction ----------------------------------------- *)
 
+(* routed through the engine so durable databases WAL-log the row *)
 let insert_row state tuple =
-  let table = Reldb.Db.table state.db state.tname in
-  (try ignore (Reldb.Table.insert table tuple)
-   with Reldb.Table.Constraint_violation m -> fail "%s" m);
+  (try ignore (Reldb.Db.insert_row state.db state.tname tuple)
+   with Reldb.Db.Sql_error m -> fail "%s" m);
   state.st <- { state.st with rows_inserted = state.st.rows_inserted + 1 }
 
 (* one bulk-load call instead of a statement per row *)

@@ -9,6 +9,28 @@ type cache_entry = {
   mutable ce_tick : int;
 }
 
+(* Durable state for databases opened with [open_dir]: the WAL writer plus
+   the transaction's pending log records. Committed writes are appended to
+   the WAL as SQL text; a transaction buffers its statements here and logs
+   them as one atomic batch record at commit. *)
+type durable = {
+  dur_dir : string;
+  mutable dur_wal : Wal.writer;
+  mutable dur_gen : int;  (* checkpoint generation the WAL belongs to *)
+  dur_policy : Wal.fsync_policy;
+  mutable dur_txn_buf : string list;  (* reversed *)
+  mutable dur_auto : int option;  (* checkpoint when WAL exceeds this size *)
+}
+
+type recovery_info = {
+  rec_gen : int;  (* generation recovered *)
+  rec_checkpoint : bool;  (* whether a checkpoint snapshot was loaded *)
+  rec_records : int;  (* WAL records replayed *)
+  rec_statements : int;  (* statements inside those records *)
+  rec_torn_bytes : int;  (* torn tail discarded from the log *)
+  rec_ms : float;
+}
+
 type t = {
   cat : Catalog.t;
   mutable txn : bool;
@@ -18,6 +40,8 @@ type t = {
   mutable cache_tick : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable dur : durable option;  (* None: plain in-memory database *)
+  mutable last_recovery : recovery_info option;
 }
 
 let slow_log_cap = 32
@@ -41,6 +65,8 @@ let create () =
     cache_tick = 0;
     cache_hits = 0;
     cache_misses = 0;
+    dur = None;
+    last_recovery = None;
   }
 
 let set_slow_query_threshold t ms = t.slow_ms <- ms
@@ -48,31 +74,6 @@ let slow_queries t = t.slow_log
 let clear_slow_queries t = t.slow_log <- []
 
 let in_transaction t = t.txn
-
-let begin_txn t =
-  if t.txn then fail "a transaction is already active";
-  List.iter Table.begin_journal (Catalog.tables t.cat);
-  t.txn <- true
-
-let commit t =
-  if not t.txn then fail "no active transaction";
-  List.iter Table.commit_journal (Catalog.tables t.cat);
-  t.txn <- false
-
-let rollback t =
-  if not t.txn then fail "no active transaction";
-  List.iter Table.rollback_journal (Catalog.tables t.cat);
-  t.txn <- false
-
-let with_transaction t f =
-  begin_txn t;
-  match f () with
-  | v ->
-      commit t;
-      v
-  | exception e ->
-      rollback t;
-      raise e
 
 let catalog t = t.cat
 
@@ -88,6 +89,206 @@ let rows_written t =
   List.fold_left (fun acc tbl -> acc + Table.rows_written tbl) 0 (Catalog.tables t.cat)
 
 let reset_counters t = List.iter Table.reset_counters (Catalog.tables t.cat)
+
+(* --- dump -------------------------------------------------------------- *)
+
+let row_literal tu =
+  Printf.sprintf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_sql_literal tu)))
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  let tables =
+    List.sort
+      (fun a b -> compare (Table.name a) (Table.name b))
+      (Catalog.tables t.cat)
+  in
+  List.iter
+    (fun tbl ->
+      let schema = Table.schema tbl in
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE TABLE %s (%s);\n" (Table.name tbl)
+           (String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun (c : Schema.column) ->
+                      Printf.sprintf "%s %s%s" c.Schema.col_name
+                        (Value.ty_name c.Schema.col_type)
+                        (if c.Schema.nullable then "" else " NOT NULL"))
+                    schema))));
+      List.iter
+        (fun (idx : Table.index) ->
+          Buffer.add_string buf
+            (Printf.sprintf "CREATE %sINDEX %s ON %s (%s);\n"
+               (if idx.Table.unique then "UNIQUE " else "")
+               idx.Table.idx_name (Table.name tbl)
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.map
+                        (fun c -> schema.(c).Schema.col_name)
+                        idx.Table.key_cols)))))
+        (Table.indexes tbl);
+      (* batch rows into multi-VALUES inserts *)
+      let batch = ref [] and n = ref 0 in
+      let flush () =
+        if !batch <> [] then begin
+          Buffer.add_string buf
+            (Printf.sprintf "INSERT INTO %s VALUES %s;\n" (Table.name tbl)
+               (String.concat ", " (List.rev !batch)));
+          batch := [];
+          n := 0
+        end
+      in
+      Seq.iter
+        (fun (_, tu) ->
+          batch := row_literal tu :: !batch;
+          incr n;
+          if !n >= 100 then flush ())
+        (Table.scan tbl);
+      flush ())
+    tables;
+  Buffer.contents buf
+
+let dump_to_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump t))
+
+(* --- durability: WAL logging and checkpointing ------------------------- *)
+
+let ckpt_name gen = Printf.sprintf "checkpoint.%d.sql" gen
+let wal_name gen = Printf.sprintf "wal.%d.log" gen
+
+let is_durable t = t.dur <> None
+let db_dir t = Option.map (fun d -> d.dur_dir) t.dur
+let last_recovery t = t.last_recovery
+let wal_size t = match t.dur with Some d -> Wal.size d.dur_wal | None -> 0
+
+(* Crash-safe checkpoint: snapshot the database, then truncate the log, in
+   an order where a kill at any point leaves either the old generation (old
+   checkpoint + old WAL) or the new one (new checkpoint + empty WAL) fully
+   recoverable. The commit point is the rename in step 3 — recovery always
+   picks the highest generation with a completed checkpoint file.
+
+     1. write checkpoint.<g+1>.sql.tmp (full dump), fsync
+     2. create wal.<g+1>.log (header only), fsync
+     3. rename the .tmp to checkpoint.<g+1>.sql, fsync dir   <- commit point
+     4. switch the writer to the new WAL
+     5. delete checkpoint.<g>.sql and wal.<g>.log, fsync dir *)
+let checkpoint t =
+  match t.dur with
+  | None -> fail "checkpoint requires a database opened with Db.open_dir"
+  | Some d ->
+      if t.txn then fail "cannot checkpoint inside a transaction";
+      Wal.failpoint "checkpoint.begin";
+      let gen' = d.dur_gen + 1 in
+      let ckpt = Filename.concat d.dur_dir (ckpt_name gen') in
+      let tmp = ckpt ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (dump t);
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc);
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Wal.failpoint "checkpoint.temp_written";
+      let wal' =
+        Wal.open_writer ~policy:d.dur_policy ~gen:gen'
+          (Filename.concat d.dur_dir (wal_name gen'))
+      in
+      Wal.fsync_dir d.dur_dir;
+      Wal.failpoint "checkpoint.wal_created";
+      Sys.rename tmp ckpt;
+      Wal.fsync_dir d.dur_dir;
+      Wal.failpoint "checkpoint.renamed";
+      let old_wal = d.dur_wal and old_gen = d.dur_gen in
+      d.dur_wal <- wal';
+      d.dur_gen <- gen';
+      Wal.close old_wal;
+      Wal.failpoint "checkpoint.switched";
+      (try Sys.remove (Filename.concat d.dur_dir (ckpt_name old_gen))
+       with Sys_error _ -> ());
+      (try Sys.remove (Filename.concat d.dur_dir (wal_name old_gen))
+       with Sys_error _ -> ());
+      Wal.fsync_dir d.dur_dir;
+      Obs.incr "db.checkpoint";
+      Wal.failpoint "checkpoint.done"
+
+let maybe_auto_checkpoint t =
+  match t.dur with
+  | Some { dur_auto = Some limit; dur_wal; _ }
+    when (not t.txn) && Wal.size dur_wal >= limit ->
+      checkpoint t
+  | _ -> ()
+
+(* Log one committed write. Inside a transaction the statement is buffered
+   and becomes part of the commit's batch record; in autocommit mode it is
+   appended (and synced per policy) immediately — the durability point is
+   before control returns to the caller. *)
+let log_write t sql =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      if t.txn then d.dur_txn_buf <- sql :: d.dur_txn_buf
+      else begin
+        Wal.append d.dur_wal (Wal.Stmt sql);
+        maybe_auto_checkpoint t
+      end
+
+(* Log several statements that committed as one unit (bulk loads). *)
+let log_batch t sqls =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      if t.txn then
+        List.iter (fun s -> d.dur_txn_buf <- s :: d.dur_txn_buf) sqls
+      else begin
+        Wal.append d.dur_wal (Wal.Batch sqls);
+        maybe_auto_checkpoint t
+      end
+
+(* --- transactions ------------------------------------------------------ *)
+
+let begin_txn t =
+  if t.txn then fail "a transaction is already active";
+  (match t.dur with Some d -> d.dur_txn_buf <- [] | None -> ());
+  List.iter Table.begin_journal (Catalog.tables t.cat);
+  t.txn <- true
+
+let commit t =
+  if not t.txn then fail "no active transaction";
+  (* WAL first: once the batch record is on disk the transaction is durable;
+     a crash after this point replays it, a crash before loses it whole. *)
+  (match t.dur with
+  | Some d when d.dur_txn_buf <> [] ->
+      Wal.failpoint "commit.before_log";
+      Wal.append d.dur_wal (Wal.Batch (List.rev d.dur_txn_buf));
+      d.dur_txn_buf <- [];
+      Wal.failpoint "commit.logged"
+  | _ -> ());
+  List.iter Table.commit_journal (Catalog.tables t.cat);
+  t.txn <- false;
+  Wal.failpoint "commit.done";
+  maybe_auto_checkpoint t
+
+let rollback t =
+  if not t.txn then fail "no active transaction";
+  (match t.dur with Some d -> d.dur_txn_buf <- [] | None -> ());
+  List.iter Table.rollback_journal (Catalog.tables t.cat);
+  t.txn <- false
+
+let with_transaction t f =
+  begin_txn t;
+  match f () with
+  | v ->
+      commit t;
+      v
+  | exception e ->
+      rollback t;
+      raise e
 
 (* constant folding for INSERT value lists *)
 let rec const_eval (e : Sql_ast.sexpr) : Value.t =
@@ -331,6 +532,16 @@ let cache_store t sql plan =
 let plan_cache_stats t =
   (t.cache_hits, t.cache_misses, Hashtbl.length t.plan_cache)
 
+(* Writes that must reach the WAL when the database is durable. Reads and
+   transaction control do not: BEGIN/COMMIT materialize as batch records. *)
+let should_log : Sql_ast.stmt -> bool = function
+  | Sql_ast.Insert _ | Sql_ast.Update _ | Sql_ast.Delete _
+  | Sql_ast.Create_table _ | Sql_ast.Create_index _ | Sql_ast.Drop_table _ ->
+      true
+  | Sql_ast.Select _ | Sql_ast.Union_all _ | Sql_ast.Begin_txn
+  | Sql_ast.Commit_txn | Sql_ast.Rollback_txn ->
+      false
+
 (* Execute an already-parsed statement, populating the plan cache on SELECT
    misses. [sql] is the cache key. *)
 let exec_parsed t ~sql stmt =
@@ -349,7 +560,10 @@ let exec_parsed t ~sql stmt =
       Obs.incr "db.plan_cache.miss";
       cache_store t sql plan;
       run_select plan
-  | stmt -> exec_stmt t stmt
+  | stmt ->
+      let result = exec_stmt t stmt in
+      if should_log stmt then log_write t sql;
+      result
 
 let note_slow t ~sql ms =
   match t.slow_ms with
@@ -406,6 +620,48 @@ let prepare t sql =
   if Obs.enabled () then Obs.observe "db.prepare" (Obs.Clock.since_ms t0);
   s
 
+(* Inline bound parameter values into the [?]-form SQL text, tracking string
+   literals and quoted identifiers so a '?' inside either is left alone. The
+   result is what the WAL records for a prepared write: replay then parses
+   plain constants, exactly like an autocommit statement. *)
+let substitute_params sql params =
+  let buf = Buffer.create (String.length sql + 32) in
+  let n = String.length sql in
+  let next = ref 0 in
+  let i = ref 0 in
+  let in_str = ref false and in_ident = ref false in
+  while !i < n do
+    let c = sql.[!i] in
+    if !in_str then begin
+      Buffer.add_char buf c;
+      if c = '\'' then
+        if !i + 1 < n && sql.[!i + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          incr i
+        end
+        else in_str := false
+    end
+    else if !in_ident then begin
+      Buffer.add_char buf c;
+      if c = '"' then in_ident := false
+    end
+    else begin
+      match c with
+      | '\'' ->
+          in_str := true;
+          Buffer.add_char buf c
+      | '"' ->
+          in_ident := true;
+          Buffer.add_char buf c
+      | '?' when !next < Array.length params ->
+          Buffer.add_string buf (Value.to_sql_literal params.(!next));
+          incr next
+      | c -> Buffer.add_char buf c
+    end;
+    incr i
+  done;
+  Buffer.contents buf
+
 module Stmt = struct
   let param_count s = s.ps_nparams
   let sql s = s.ps_sql
@@ -423,10 +679,16 @@ module Stmt = struct
       try Sql_ast.bind_params params s.ps_ast
       with Sql_ast.Bind_error m -> fail "%s" m
     in
-    if not (Obs.enabled ()) then exec_stmt t bound
+    let run () =
+      let result = exec_stmt t bound in
+      if should_log bound && is_durable t then
+        log_write t (substitute_params s.ps_sql params);
+      result
+    in
+    if not (Obs.enabled ()) then run ()
     else begin
       let t0 = Obs.Clock.now_ns () in
-      let result = exec_stmt t bound in
+      let result = run () in
       let ms = Obs.Clock.since_ms t0 in
       Obs.incr "db.statements";
       Obs.observe ("db.exec." ^ stmt_kind bound) ms;
@@ -442,6 +704,29 @@ end
 
 (* --- bulk writes ------------------------------------------------------- *)
 
+(* The dump-form INSERT statements recreating [rows], batched 100 rows per
+   statement like [dump] — the WAL's logical record of a bulk load. *)
+let insert_statements name rows =
+  let stmts = ref [] and batch = ref [] and n = ref 0 in
+  let flush () =
+    if !batch <> [] then begin
+      stmts :=
+        Printf.sprintf "INSERT INTO %s VALUES %s" name
+          (String.concat ", " (List.rev !batch))
+        :: !stmts;
+      batch := [];
+      n := 0
+    end
+  in
+  List.iter
+    (fun row ->
+      batch := row_literal row :: !batch;
+      incr n;
+      if !n >= 100 then flush ())
+    rows;
+  flush ();
+  List.rev !stmts
+
 (* Fast path for loading many rows into one table: skips SQL entirely.
    Atomic: a constraint violation removes the rows inserted so far. *)
 let insert_many t name rows =
@@ -454,7 +739,23 @@ let insert_many t name rows =
    with Table.Constraint_violation m ->
      List.iter (fun rowid -> Table.delete tbl rowid) !inserted;
      fail "%s" m);
+  if is_durable t && rows <> [] then
+    log_batch t (insert_statements (Table.name tbl) rows);
   List.length rows
+
+(* Single-row loader fast path (streaming shredders): one Table.insert plus,
+   on durable databases, one WAL record. *)
+let insert_row t name row =
+  let tbl = table t name in
+  let rowid =
+    try Table.insert tbl row
+    with Table.Constraint_violation m -> fail "%s" m
+  in
+  if is_durable t then
+    log_write t
+      (Printf.sprintf "INSERT INTO %s VALUES %s" (Table.name tbl)
+         (row_literal row));
+  rowid
 
 (* --- scripts ----------------------------------------------------------- *)
 
@@ -555,72 +856,10 @@ let render = function
       Buffer.add_string buf (Printf.sprintf "(%d rows)" (List.length tuples));
       Buffer.contents buf
 
-let dump t =
-  let buf = Buffer.create 4096 in
-  let tables =
-    List.sort
-      (fun a b -> compare (Table.name a) (Table.name b))
-      (Catalog.tables t.cat)
-  in
-  List.iter
-    (fun tbl ->
-      let schema = Table.schema tbl in
-      Buffer.add_string buf
-        (Printf.sprintf "CREATE TABLE %s (%s);\n" (Table.name tbl)
-           (String.concat ", "
-              (Array.to_list
-                 (Array.map
-                    (fun (c : Schema.column) ->
-                      Printf.sprintf "%s %s%s" c.Schema.col_name
-                        (Value.ty_name c.Schema.col_type)
-                        (if c.Schema.nullable then "" else " NOT NULL"))
-                    schema))));
-      List.iter
-        (fun (idx : Table.index) ->
-          Buffer.add_string buf
-            (Printf.sprintf "CREATE %sINDEX %s ON %s (%s);\n"
-               (if idx.Table.unique then "UNIQUE " else "")
-               idx.Table.idx_name (Table.name tbl)
-               (String.concat ", "
-                  (Array.to_list
-                     (Array.map
-                        (fun c -> schema.(c).Schema.col_name)
-                        idx.Table.key_cols)))))
-        (Table.indexes tbl);
-      (* batch rows into multi-VALUES inserts *)
-      let batch = ref [] and n = ref 0 in
-      let flush () =
-        if !batch <> [] then begin
-          Buffer.add_string buf
-            (Printf.sprintf "INSERT INTO %s VALUES %s;\n" (Table.name tbl)
-               (String.concat ", " (List.rev !batch)));
-          batch := [];
-          n := 0
-        end
-      in
-      Seq.iter
-        (fun (_, tu) ->
-          let row =
-            Printf.sprintf "(%s)"
-              (String.concat ", "
-                 (Array.to_list (Array.map Value.to_sql_literal tu)))
-          in
-          batch := row :: !batch;
-          incr n;
-          if !n >= 100 then flush ())
-        (Table.scan tbl);
-      flush ())
-    tables;
-  Buffer.contents buf
-
-let dump_to_file t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (dump t))
-
 (* split a script on ';' outside string literals (text values may contain
-   newlines and semicolons, so line-based splitting would corrupt them) *)
+   newlines and semicolons, so line-based splitting would corrupt them) and
+   outside '--' line comments (a comment may contain ';', which must not end
+   the statement — the SQL lexer skips the comment, this splitter must too) *)
 let split_statements script =
   let out = ref [] in
   let buf = Buffer.create 256 in
@@ -643,6 +882,12 @@ let split_statements script =
        | '\'' ->
            in_str := true;
            Buffer.add_char buf c
+       | '-' when !i + 1 < n && script.[!i + 1] = '-' ->
+           (* drop the comment text; keep the newline as a separator *)
+           while !i < n && script.[!i] <> '\n' do
+             incr i
+           done;
+           if !i < n then Buffer.add_char buf '\n'
        | ';' ->
            out := Buffer.contents buf :: !out;
            Buffer.clear buf
@@ -663,3 +908,115 @@ let restore_from_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> restore (really_input_string ic (in_channel_length ic)))
+
+(* --- persistent databases ---------------------------------------------- *)
+
+(* Parse "<stem>.<gen>.<ext>" names; None for anything else (including the
+   ".tmp" files an interrupted checkpoint leaves behind). *)
+let gen_of_name ~stem ~ext name =
+  let prefix = stem ^ "." and suffix = "." ^ ext in
+  if
+    String.length name > String.length prefix + String.length suffix
+    && String.sub name 0 (String.length prefix) = prefix
+    && Filename.check_suffix name suffix
+  then
+    int_of_string_opt
+      (String.sub name (String.length prefix)
+         (String.length name - String.length prefix - String.length suffix))
+  else None
+
+let ckpt_gen_of = gen_of_name ~stem:"checkpoint" ~ext:"sql"
+let wal_gen_of = gen_of_name ~stem:"wal" ~ext:"log"
+
+(* Recovery: load the newest completed checkpoint, replay the WAL of the
+   same generation up to its torn tail, and garbage-collect everything else
+   (interrupted checkpoints leave .tmp files and, at worst, a fresher empty
+   WAL whose checkpoint never committed — all stale by the generation rule). *)
+let open_dir ?(fsync = Wal.Every 32) ?auto_checkpoint dir =
+  let t0 = Obs.Clock.now_ns () in
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      fail "open_dir: %s exists and is not a directory" dir
+  end
+  else Unix.mkdir dir 0o755;
+  let entries = Sys.readdir dir in
+  let gens_of f = List.filter_map f (Array.to_list entries) in
+  let ckpt_gens = gens_of ckpt_gen_of and wal_gens = gens_of wal_gen_of in
+  let gen =
+    match (ckpt_gens, wal_gens) with
+    | [], [] -> 0
+    | [], w :: ws -> List.fold_left min w ws
+    | c :: cs, _ -> List.fold_left max c cs
+  in
+  (* sweep stale generations and interrupted-checkpoint leftovers *)
+  Array.iter
+    (fun name ->
+      let stale =
+        Filename.check_suffix name ".tmp"
+        || (match ckpt_gen_of name with Some g -> g <> gen | None -> false)
+        || (match wal_gen_of name with Some g -> g <> gen | None -> false)
+      in
+      if stale then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    entries;
+  let ckpt_path = Filename.concat dir (ckpt_name gen) in
+  let have_ckpt = Sys.file_exists ckpt_path in
+  let t = if have_ckpt then restore_from_file ckpt_path else create () in
+  let wal_path = Filename.concat dir (wal_name gen) in
+  let parsed =
+    if Sys.file_exists wal_path then Wal.read_file wal_path
+    else { Wal.records = []; file_gen = gen; valid_len = 0; torn_bytes = 0 }
+  in
+  let statements = ref 0 in
+  let replay sql =
+    incr statements;
+    try ignore (exec t sql)
+    with Sql_error m -> fail "WAL replay failed on %S: %s" sql m
+  in
+  List.iter
+    (function
+      | Wal.Stmt sql -> replay sql
+      | Wal.Batch sqls -> List.iter replay sqls)
+    parsed.Wal.records;
+  Obs.add "wal.replayed" !statements;
+  let wal = Wal.open_writer ~policy:fsync ~gen wal_path in
+  Wal.fsync_dir dir;
+  t.dur <-
+    Some
+      {
+        dur_dir = dir;
+        dur_wal = wal;
+        dur_gen = gen;
+        dur_policy = fsync;
+        dur_txn_buf = [];
+        dur_auto = auto_checkpoint;
+      };
+  let ms = Obs.Clock.since_ms t0 in
+  Obs.observe "db.recovery" ms;
+  t.last_recovery <-
+    Some
+      {
+        rec_gen = gen;
+        rec_checkpoint = have_ckpt;
+        rec_records = List.length parsed.Wal.records;
+        rec_statements = !statements;
+        rec_torn_bytes = parsed.Wal.torn_bytes;
+        rec_ms = ms;
+      };
+  t
+
+let set_auto_checkpoint t limit =
+  match t.dur with
+  | None -> fail "set_auto_checkpoint requires a database opened with Db.open_dir"
+  | Some d ->
+      d.dur_auto <- limit;
+      maybe_auto_checkpoint t
+
+let close t =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      (* an open transaction dies with the handle, exactly as in a crash *)
+      if t.txn then rollback t;
+      Wal.close d.dur_wal;
+      t.dur <- None

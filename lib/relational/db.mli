@@ -66,7 +66,13 @@ val insert_many : t -> string -> Tuple.t list -> int
 (** Insert pre-built tuples into a table, bypassing SQL parsing entirely
     (the loader fast path). Returns the number of rows inserted. Atomic: on
     constraint violation the rows inserted so far are removed and
-    [Sql_error] is raised. *)
+    [Sql_error] is raised. On durable databases the batch is logged to the
+    WAL as one atomic record of dump-form INSERTs. *)
+
+val insert_row : t -> string -> Tuple.t -> int
+(** Insert one pre-built tuple (streaming-loader fast path). Returns the
+    row id. Logged to the WAL on durable databases.
+    @raise Sql_error on constraint violation or missing table. *)
 
 (** {2 Plan cache}
 
@@ -130,6 +136,74 @@ val restore : string -> t
 (** @raise Sql_error if the script fails. *)
 
 val restore_from_file : string -> t
+
+(** {2 Durability}
+
+    A database opened with {!open_dir} is {e durable}: every committed
+    write is appended to a CRC-framed write-ahead log ({!Wal}) before
+    control returns to the caller, and {!checkpoint} folds the log into a
+    snapshot. The directory holds at most one live generation:
+
+    {v
+    <dir>/checkpoint.<g>.sql   snapshot (absent before the first checkpoint)
+    <dir>/wal.<g>.log          writes committed since that snapshot
+    v}
+
+    Recovery loads the newest completed checkpoint, replays the WAL's valid
+    prefix and discards a torn tail, so after a crash the database equals
+    the state as of some prefix of the committed history — exactly the
+    commits whose records reached the log, in order, with no partial
+    transactions ({e prefix consistency}). With [fsync Always] that prefix
+    is everything acknowledged; lazier policies trade the last few commits
+    on power failure for speed (in-process crashes never lose acknowledged
+    commits — records are written, if not yet synced, before the ack).
+
+    Transactions log as one atomic batch record at commit; autocommit
+    statements log individually; bulk loads ({!insert_many}, {!insert_row})
+    log dump-form INSERTs. The in-memory path ({!create}) pays none of
+    this — no WAL state exists and every hook is a [None] check. *)
+
+val open_dir : ?fsync:Wal.fsync_policy -> ?auto_checkpoint:int -> string -> t
+(** Open (creating if needed) a persistent database directory and recover
+    its state. [fsync] defaults to [Wal.Every 32]; [auto_checkpoint], when
+    given, checkpoints automatically once the WAL exceeds that many bytes
+    (checked after each autocommit write and commit). Records [wal.replayed]
+    and a [db.recovery] latency histogram in {!Obs} when enabled.
+    @raise Sql_error if the path is not a directory, or if replay fails. *)
+
+val close : t -> unit
+(** Sync and close the WAL (rolling back an open transaction, which dies
+    with the handle exactly as in a crash). No-op on in-memory databases;
+    idempotent. The handle must not be used for further writes. *)
+
+val checkpoint : t -> unit
+(** Snapshot the database ({!dump} form) and truncate the log, advancing
+    the generation. Crash-safe at every intermediate point: recovery sees
+    either the old generation or the new one, never a mix.
+    @raise Sql_error on in-memory databases or inside a transaction. *)
+
+val set_auto_checkpoint : t -> int option -> unit
+(** Install or remove the WAL-size threshold (bytes) for automatic
+    checkpoints; takes effect immediately if already exceeded.
+    @raise Sql_error on in-memory databases. *)
+
+val is_durable : t -> bool
+val db_dir : t -> string option
+val wal_size : t -> int
+(** WAL file size in bytes (header included); [0] for in-memory. *)
+
+type recovery_info = {
+  rec_gen : int;  (** generation recovered *)
+  rec_checkpoint : bool;  (** whether a checkpoint snapshot was loaded *)
+  rec_records : int;  (** WAL records replayed *)
+  rec_statements : int;  (** statements inside those records *)
+  rec_torn_bytes : int;  (** torn tail discarded from the log *)
+  rec_ms : float;  (** wall-clock recovery time *)
+}
+
+val last_recovery : t -> recovery_info option
+(** Statistics from the {!open_dir} that produced this handle; [None] for
+    in-memory databases. *)
 
 (** {2 Logical I/O counters} (aggregated over all tables) *)
 

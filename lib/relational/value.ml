@@ -72,10 +72,22 @@ let to_sql_literal = function
   | Null -> "NULL"
   | Int i -> string_of_int i
   | Float f ->
-      let s = Printf.sprintf "%.17g" f in
-      (* keep it lexically a float so it parses back as one *)
-      if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
-      else s ^ ".0"
+      (* Non-finite floats have no literal: an overflowing exponent reads
+         back as an infinity, and their difference as a NaN. *)
+      if f <> f then "(1.0e999 - 1.0e999)"
+      else if f = infinity then "1.0e999"
+      else if f = neg_infinity then "-1.0e999"
+      else
+        let s = Printf.sprintf "%.17g" f in
+        (* keep it lexically a float so it parses back as one: the SQL
+           lexer requires digits '.' digits before any exponent, so "1e+22"
+           must become "1.0e+22" *)
+        if String.contains s '.' then s
+        else begin
+          match String.index_opt s 'e' with
+          | Some i -> String.sub s 0 i ^ ".0" ^ String.sub s i (String.length s - i)
+          | None -> s ^ ".0"
+        end
   | Str s ->
       let buf = Buffer.create (String.length s + 2) in
       Buffer.add_char buf '\'';

@@ -1,0 +1,284 @@
+type fsync_policy = Always | Every of int | Never
+
+type record =
+  | Stmt of string
+  | Batch of string list
+
+exception Corrupt of string
+
+let magic = "OXWAL1\n"
+let header_size = String.length magic + 8
+
+(* --- failpoints -------------------------------------------------------- *)
+
+let failpoint_hook : (string -> unit) option ref = ref None
+let set_failpoint h = failpoint_hook := h
+let failpoint name = match !failpoint_hook with Some h -> h name | None -> ()
+
+(* --- CRC-32 (IEEE 802.3, table-driven) --------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc s =
+  let tbl = Lazy.force crc_table in
+  let c = ref crc in
+  String.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c
+
+let crc32 s = crc32_update 0xFFFFFFFF s lxor 0xFFFFFFFF
+
+(* --- little-endian integer framing ------------------------------------- *)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let put_u64 buf v =
+  for k = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xff))
+  done
+
+let get_u64 s off =
+  let v = ref 0 in
+  for k = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + k]
+  done;
+  !v
+
+(* --- record encoding --------------------------------------------------- *)
+
+let kind_char = function Stmt _ -> 'S' | Batch _ -> 'T'
+
+let payload_of = function
+  | Stmt s -> s
+  | Batch stmts ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun s ->
+          put_u32 buf (String.length s);
+          Buffer.add_string buf s)
+        stmts;
+      Buffer.contents buf
+
+let encode_record r =
+  let kind = kind_char r in
+  let payload = payload_of r in
+  let crc = crc32_update 0xFFFFFFFF (String.make 1 kind) in
+  let crc = crc32_update crc payload lxor 0xFFFFFFFF in
+  let buf = Buffer.create (String.length payload + 9) in
+  Buffer.add_char buf kind;
+  put_u32 buf (String.length payload);
+  put_u32 buf crc;
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* Split a 'T' payload back into statements; None if the length prefixes do
+   not tile the payload exactly (CRC passed, so this is a writer bug rather
+   than disk damage — treat it as end-of-valid-prefix all the same). *)
+let decode_batch payload =
+  let n = String.length payload in
+  let rec go acc off =
+    if off = n then Some (List.rev acc)
+    else if off + 4 > n then None
+    else
+      let len = get_u32 payload off in
+      if len < 0 || off + 4 + len > n then None
+      else go (String.sub payload (off + 4) len :: acc) (off + 4 + len)
+  in
+  go [] 0
+
+(* Decode the records of [data] (a whole log file image). Returns the valid
+   records with the byte offset just past each, in order. *)
+let decode_records data =
+  let n = String.length data in
+  let rec go acc off =
+    if off + 9 > n then List.rev acc
+    else
+      let kind = data.[off] in
+      if kind <> 'S' && kind <> 'T' then List.rev acc
+      else
+        let len = get_u32 data (off + 1) in
+        let crc = get_u32 data (off + 5) in
+        if len < 0 || off + 9 + len > n then List.rev acc
+        else
+          let payload = String.sub data (off + 9) len in
+          let crc' = crc32_update 0xFFFFFFFF (String.make 1 kind) in
+          let crc' = crc32_update crc' payload lxor 0xFFFFFFFF in
+          if crc' <> crc then List.rev acc
+          else
+            let record =
+              if kind = 'S' then Some (Stmt payload)
+              else Option.map (fun ss -> Batch ss) (decode_batch payload)
+            in
+            match record with
+            | None -> List.rev acc
+            | Some r -> go ((r, off + 9 + len) :: acc) (off + 9 + len)
+  in
+  go [] header_size
+
+type read_result = {
+  records : record list;
+  file_gen : int;
+  valid_len : int;
+  torn_bytes : int;
+}
+
+let read_string path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_image data =
+  let n = String.length data in
+  if n < header_size || String.sub data 0 (String.length magic) <> magic then
+    { records = []; file_gen = -1; valid_len = 0; torn_bytes = n }
+  else
+    let gen = get_u64 data (String.length magic) in
+    let decoded = decode_records data in
+    let valid_len =
+      List.fold_left (fun _ (_, e) -> e) header_size decoded
+    in
+    {
+      records = List.map fst decoded;
+      file_gen = gen;
+      valid_len;
+      torn_bytes = n - valid_len;
+    }
+
+let read_file path = parse_image (read_string path)
+
+let frame_ends path =
+  List.map snd (decode_records (read_string path))
+
+(* --- directory sync ---------------------------------------------------- *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* --- writer ------------------------------------------------------------ *)
+
+type writer = {
+  w_path : string;
+  w_gen : int;
+  w_policy : fsync_policy;
+  w_fd : Unix.file_descr;
+  mutable w_size : int;
+  mutable w_unsynced : int;  (* records appended since the last fsync *)
+  mutable w_appends : int;
+  mutable w_fsyncs : int;
+  mutable w_closed : bool;
+}
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd bytes !off (n - !off)
+  done
+
+let header_bytes gen =
+  let buf = Buffer.create header_size in
+  Buffer.add_string buf magic;
+  put_u64 buf gen;
+  Buffer.to_bytes buf
+
+let open_writer ?(policy = Every 32) ~gen path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let w =
+    {
+      w_path = path;
+      w_gen = gen;
+      w_policy = policy;
+      w_fd = fd;
+      w_size = 0;
+      w_unsynced = 0;
+      w_appends = 0;
+      w_fsyncs = 0;
+      w_closed = false;
+    }
+  in
+  let image = read_string path in
+  let parsed = parse_image image in
+  if parsed.file_gen = -1 then begin
+    (* fresh file, or a header torn by a crash during creation: start over *)
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    Unix.ftruncate fd 0;
+    write_all fd (header_bytes gen);
+    Unix.fsync fd;
+    w.w_fsyncs <- w.w_fsyncs + 1;
+    w.w_size <- header_size
+  end
+  else if parsed.file_gen <> gen then begin
+    Unix.close fd;
+    raise
+      (Corrupt
+         (Printf.sprintf "%s: log carries generation %d, expected %d" path
+            parsed.file_gen gen))
+  end
+  else begin
+    (* drop the torn tail so appends extend the valid prefix *)
+    if parsed.torn_bytes > 0 then Unix.ftruncate fd parsed.valid_len;
+    ignore (Unix.lseek fd parsed.valid_len Unix.SEEK_SET);
+    w.w_size <- parsed.valid_len
+  end;
+  w
+
+let do_fsync w =
+  Unix.fsync w.w_fd;
+  w.w_fsyncs <- w.w_fsyncs + 1;
+  w.w_unsynced <- 0;
+  Obs.incr "wal.fsync"
+
+let append w r =
+  if w.w_closed then invalid_arg "Wal.append: writer is closed";
+  let frame = encode_record r in
+  failpoint "wal.append.before";
+  write_all w.w_fd (Bytes.of_string frame);
+  w.w_size <- w.w_size + String.length frame;
+  w.w_appends <- w.w_appends + 1;
+  w.w_unsynced <- w.w_unsynced + 1;
+  Obs.incr "wal.append";
+  failpoint "wal.append.after";
+  (match w.w_policy with
+  | Always -> do_fsync w
+  | Every n -> if w.w_unsynced >= n then do_fsync w
+  | Never -> ());
+  failpoint "wal.append.synced"
+
+let sync w =
+  if (not w.w_closed) && w.w_unsynced > 0 then do_fsync w
+
+let close w =
+  if not w.w_closed then begin
+    (try if w.w_unsynced > 0 then do_fsync w with Unix.Unix_error _ -> ());
+    (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+    w.w_closed <- true
+  end
+
+let size w = w.w_size
+let gen w = w.w_gen
+let path w = w.w_path
+let appends w = w.w_appends
+let fsyncs w = w.w_fsyncs

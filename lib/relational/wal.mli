@@ -1,0 +1,112 @@
+(** Write-ahead log: an append-only file of CRC-framed records, each holding
+    the SQL text of one committed write (or one committed transaction's worth
+    of writes). The engine keeps data in memory; durability comes from
+    logging every committed statement here and replaying the log over the
+    latest checkpoint on {!Db.open_dir}.
+
+    {2 File format}
+
+    {v
+    file   := header record*
+    header := "OXWAL1\n" generation:64le          (15 bytes)
+    record := kind:8 len:32le crc:32le payload    (9-byte frame + payload)
+    v}
+
+    [kind] is ['S'] (one autocommit statement, payload = SQL text) or ['T']
+    (one committed transaction, payload = a sequence of 32le-length-prefixed
+    SQL texts). [crc] is CRC-32 (IEEE) over the kind byte followed by the
+    payload, so a bit flip in either the type or the body of a record is
+    detected. A record is valid only if its whole frame fits in the file and
+    the CRC matches; the first invalid record ends the valid prefix and
+    everything after it is a {e torn tail} — discarded on recovery and
+    truncated away when a writer reopens the file. Appends are single
+    [write(2)] calls, so the log is always a valid prefix followed by at
+    most one torn record. *)
+
+type fsync_policy =
+  | Always  (** fsync after every record: no committed write is ever lost *)
+  | Every of int
+      (** fsync after every [n] records: bounds loss to the last [n-1]
+          commits on power failure (in-process crashes lose nothing) *)
+  | Never  (** leave flushing to the OS (and to {!close}) *)
+
+type record =
+  | Stmt of string  (** one autocommit DML/DDL statement *)
+  | Batch of string list  (** one committed transaction *)
+
+exception Corrupt of string
+(** Raised when a log file's header does not belong to the generation the
+    caller expects (record-level damage is never an error: it just ends the
+    valid prefix). *)
+
+(** {2 Writing} *)
+
+type writer
+
+val open_writer : ?policy:fsync_policy -> gen:int -> string -> writer
+(** Open (or create) the log at [path] for appending. A missing, empty or
+    header-torn file is (re)initialized with a fresh header; an existing log
+    is scanned and truncated to its valid prefix so new records never land
+    after a torn tail.
+    @raise Corrupt if the file carries a different generation. *)
+
+val append : writer -> record -> unit
+(** Frame, CRC and append one record in a single write, then fsync according
+    to the policy. Counts [wal.append] (and [wal.fsync] when it syncs) in
+    {!Obs} when enabled. *)
+
+val sync : writer -> unit
+(** Unconditional fsync (no-op if nothing was appended since the last). *)
+
+val close : writer -> unit
+(** Sync and close. Idempotent. *)
+
+val size : writer -> int
+(** Current file length in bytes, header included. *)
+
+val gen : writer -> int
+val path : writer -> string
+
+val appends : writer -> int
+(** Records appended through this writer. *)
+
+val fsyncs : writer -> int
+(** fsync(2) calls issued by this writer. *)
+
+(** {2 Reading (recovery)} *)
+
+type read_result = {
+  records : record list;  (** the valid prefix, in append order *)
+  file_gen : int;  (** generation from the header, [-1] if header torn *)
+  valid_len : int;  (** byte length of header + valid records *)
+  torn_bytes : int;  (** bytes past the valid prefix (0 for a clean log) *)
+}
+
+val read_file : string -> read_result
+(** Parse a log file, stopping at the first invalid record. Never raises on
+    damaged contents — damage just shortens the valid prefix.
+    @raise Sys_error if the file cannot be opened. *)
+
+val frame_ends : string -> int list
+(** Byte offsets just past each valid record (test instrumentation: maps a
+    truncation offset to the number of records that survive it). *)
+
+(** {2 Crash-point hooks}
+
+    The commit and checkpoint sequences call {!failpoint} with a point name
+    at every step boundary; a test installs a hook that raises to simulate a
+    process kill at exactly that point. The hook must treat the database
+    handle as dead afterwards — only {!Db.open_dir} on the directory is
+    meaningful, as after a real crash. *)
+
+val set_failpoint : (string -> unit) option -> unit
+val failpoint : string -> unit
+
+(** {2 Utilities} *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3), as used by the record frames. *)
+
+val fsync_dir : string -> unit
+(** fsync a directory so renames/creates/unlinks in it are durable (best
+    effort: ignored on systems that refuse directory fsync). *)

@@ -1,3 +1,13 @@
+exception Unserializable of string
+
+let unserializable fmt =
+  Printf.ksprintf (fun s -> raise (Unserializable s)) fmt
+
+(* XML 1.0 gives parsers license to rewrite whitespace we emit raw: §3.3.3
+   attribute-value normalization folds tab/CR/LF in attribute values to
+   spaces, and §2.11 end-of-line handling folds CR (and CRLF) in content to
+   LF. Emitting them as character references is the only way a round trip
+   preserves the exact string. *)
 let escape buf ~quot s =
   String.iter
     (fun c ->
@@ -6,6 +16,9 @@ let escape buf ~quot s =
       | '<' -> Buffer.add_string buf "&lt;"
       | '>' -> Buffer.add_string buf "&gt;"
       | '"' when quot -> Buffer.add_string buf "&quot;"
+      | '\n' when quot -> Buffer.add_string buf "&#10;"
+      | '\t' when quot -> Buffer.add_string buf "&#9;"
+      | '\r' -> Buffer.add_string buf "&#13;"
       | c -> Buffer.add_char buf c)
     s
 
@@ -18,6 +31,35 @@ let escape_attr s =
   let buf = Buffer.create (String.length s + 8) in
   escape buf ~quot:true s;
   Buffer.contents buf
+
+(* Comments and processing instructions have no escaping mechanism at all,
+   so contents that collide with their delimiters cannot be serialized —
+   reject rather than emit XML that will not parse back. *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let add_comment buf s =
+  if contains_sub s "--" then
+    unserializable "comment contains \"--\": %S" s;
+  if s <> "" && s.[String.length s - 1] = '-' then
+    unserializable "comment ends with \"-\": %S" s;
+  Buffer.add_string buf "<!--";
+  Buffer.add_string buf s;
+  Buffer.add_string buf "-->"
+
+let add_pi buf ~target ~data =
+  if contains_sub data "?>" then
+    unserializable "processing-instruction data contains \"?>\": %S" data;
+  Buffer.add_string buf "<?";
+  Buffer.add_string buf target;
+  if data <> "" then begin
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf data
+  end;
+  Buffer.add_string buf "?>"
 
 let add_attrs buf attrs =
   List.iter
@@ -32,18 +74,8 @@ let add_attrs buf attrs =
 let rec add_node buf (n : Types.node) =
   match n with
   | Types.Text s -> escape buf ~quot:false s
-  | Types.Comment s ->
-      Buffer.add_string buf "<!--";
-      Buffer.add_string buf s;
-      Buffer.add_string buf "-->"
-  | Types.Pi { target; data } ->
-      Buffer.add_string buf "<?";
-      Buffer.add_string buf target;
-      if data <> "" then begin
-        Buffer.add_char buf ' ';
-        Buffer.add_string buf data
-      end;
-      Buffer.add_string buf "?>"
+  | Types.Comment s -> add_comment buf s
+  | Types.Pi { target; data } -> add_pi buf ~target ~data
   | Types.Element e ->
       Buffer.add_char buf '<';
       Buffer.add_string buf e.tag;

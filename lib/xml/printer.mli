@@ -1,20 +1,41 @@
-(** XML serialization. *)
+(** XML serialization.
+
+    Everything this module emits parses back to the same value: character
+    data escapes [& < >] plus carriage return (XML 1.0 §2.11 end-of-line
+    handling would otherwise fold it to a line feed), and attribute values
+    additionally escape the double quote, tab, line feed and carriage
+    return as character references (§3.3.3 attribute-value normalization
+    would otherwise fold them to spaces). Comments and processing
+    instructions have {e no} escaping mechanism, so contents colliding with
+    their delimiters raise {!Unserializable} instead of producing
+    unparseable output. *)
+
+exception Unserializable of string
+(** Raised for nodes XML cannot represent: a comment containing ["--"] or
+    ending with ["-"], or processing-instruction data containing ["?>"]. *)
 
 val escape_text : string -> string
-(** Escape [& < >] for character data. *)
+(** Escape [& < > \r] for character data. *)
 
 val escape_attr : string -> string
-(** Escape ampersand, angle brackets and the double quote for double-quoted
-    attribute values. *)
+(** Escape ampersand, angle brackets, the double quote, and tab/LF/CR for
+    double-quoted attribute values. *)
+
+val add_comment : Buffer.t -> string -> unit
+(** Append [<!--s-->]. @raise Unserializable, see above. *)
+
+val add_pi : Buffer.t -> target:string -> data:string -> unit
+(** Append [<?target data?>]. @raise Unserializable, see above. *)
 
 val node_to_string : Types.node -> string
 (** Compact serialization (no added whitespace). Empty elements are written
-    self-closed ([<a/>]). *)
+    self-closed ([<a/>]). @raise Unserializable, see above. *)
 
 val document_to_string : Types.document -> string
 (** Serialize the document, emitting an XML declaration when the document
-    carries one. *)
+    carries one. @raise Unserializable, see above. *)
 
 val pretty : ?indent:int -> Types.node -> string
 (** Indented rendering for humans. Text nodes inhibit indentation of their
-    siblings so mixed content round-trips visually intact. *)
+    siblings so mixed content round-trips visually intact.
+    @raise Unserializable, see above. *)

@@ -19,6 +19,8 @@ let () =
       Test_update.tests;
       Test_api.tests;
       Test_flwor.tests;
+      Test_wal.tests;
+      Test_wal.crash_tests;
       Test_fuzz.tests;
       Test_differential.tests;
     ]

@@ -433,6 +433,101 @@ let test_order_by_aggregate () =
   | [ [| V.Int _; V.Int a |]; [| V.Int _; V.Int b |] ] when a >= b -> ()
   | _ -> Alcotest.fail "order by aggregate"
 
+(* --- hostile values through dump / restore (ISSUE 4) ------------------- *)
+
+(* strings chosen to break naive statement splitting or literal quoting *)
+let hostile_strings =
+  [
+    "semi;colon";
+    "line one\nline two";
+    "quote ' and '' doubled";
+    "-- looks like a comment";
+    "mix; -- of\nall ''the'' above;";
+    "back\\slash and \ttab";
+    "";
+  ]
+
+let test_hostile_dump_restore () =
+  let db = fresh () in
+  e db "CREATE TABLE h (id INT NOT NULL, v TEXT)";
+  List.iteri
+    (fun i s ->
+      e db
+        (Printf.sprintf "INSERT INTO h VALUES (%d, %s)" i
+           (V.to_sql_literal (V.Str s))))
+    hostile_strings;
+  let db2 = D.restore (D.dump db) in
+  List.iteri
+    (fun i s ->
+      match
+        D.query_one db2 (Printf.sprintf "SELECT v FROM h WHERE id = %d" i)
+      with
+      | Some [| V.Str got |] ->
+          check string_t (Printf.sprintf "hostile string %d" i) s got
+      | _ -> Alcotest.failf "hostile string %d lost in dump/restore" i)
+    hostile_strings;
+  check string_t "dump is a fixpoint" (D.dump db) (D.dump db2)
+
+let test_float_literal_roundtrip () =
+  let db = fresh () in
+  e db "CREATE TABLE f (id INT NOT NULL, x FLOAT)";
+  let floats =
+    [
+      1e22 (* %.17g prints no decimal point: regression for the dump bug *);
+      1.5;
+      -0.0;
+      1e-300;
+      max_float;
+      Float.min_float;
+      nan;
+      infinity;
+      neg_infinity;
+    ]
+  in
+  List.iteri
+    (fun i x ->
+      e db
+        (Printf.sprintf "INSERT INTO f VALUES (%d, %s)" i
+           (V.to_sql_literal (V.Float x))))
+    floats;
+  let db2 = D.restore (D.dump db) in
+  List.iteri
+    (fun i x ->
+      match
+        D.query_one db2 (Printf.sprintf "SELECT x FROM f WHERE id = %d" i)
+      with
+      | Some [| V.Float got |] ->
+          let same =
+            (Float.is_nan x && Float.is_nan got)
+            || (x = got && Float.sign_bit x = Float.sign_bit got)
+          in
+          if not same then
+            Alcotest.failf "float %d: %h restored as %h" i x got
+      | _ -> Alcotest.failf "float %d lost in dump/restore" i)
+    floats
+
+let test_script_line_comments () =
+  (* [--] outside a string literal starts a comment; inside one it is data *)
+  let db =
+    D.restore
+      "-- header comment; with semicolons\n\
+       CREATE TABLE t (id INT NOT NULL, v TEXT); -- trailing comment\n\
+       INSERT INTO t VALUES (1, '-- not; a comment\nsecond line');\n\
+       -- INSERT INTO t VALUES (2, 'commented out');\n\
+       INSERT INTO t VALUES (3, 'it''s -- still data');"
+  in
+  check int_t "commented-out statement skipped" 2
+    (List.length (D.query db "SELECT id FROM t"));
+  (match D.query_one db "SELECT v FROM t WHERE id = 1" with
+  | Some [| V.Str v |] ->
+      check string_t "comment marker inside literal survives"
+        "-- not; a comment\nsecond line" v
+  | _ -> Alcotest.fail "row 1 missing");
+  match D.query_one db "SELECT v FROM t WHERE id = 3" with
+  | Some [| V.Str v |] ->
+      check string_t "escaped quote before comment marker" "it's -- still data" v
+  | _ -> Alcotest.fail "row 3 missing"
+
 let tests =
   ( "sql",
     [
@@ -464,4 +559,10 @@ let tests =
       Alcotest.test_case "scalar functions" `Quick test_scalar_functions;
       Alcotest.test_case "delete via index" `Quick test_delete_via_index;
       Alcotest.test_case "ORDER BY aggregate" `Quick test_order_by_aggregate;
+      Alcotest.test_case "hostile strings dump/restore" `Quick
+        test_hostile_dump_restore;
+      Alcotest.test_case "float literal roundtrip" `Quick
+        test_float_literal_roundtrip;
+      Alcotest.test_case "script line comments" `Quick
+        test_script_line_comments;
     ] )

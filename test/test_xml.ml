@@ -109,6 +109,49 @@ let test_print_parse_roundtrip () =
   let src = "<a k=\"v\"><b>one</b><!--c--><?p d?><c/>tail</a>" in
   check string_t "stable" (roundtrip src) (roundtrip (roundtrip src))
 
+(* Regressions (ISSUE 4): raw tab/LF/CR in attribute values fall to XML 1.0
+   §3.3.3 attribute-value normalization, and raw CR in character data to
+   §2.11 end-of-line handling — a conforming reparse would fold them away.
+   The printer must emit character references instead. *)
+
+let reparse_node n = T.Element (parse_ok (Pr.node_to_string n)).T.root
+
+let test_attr_control_roundtrip () =
+  let hostile = "a\nb\tc\rd\"e<f&g" in
+  let n = T.element "a" ~attrs:[ T.attr "k" hostile ] [] in
+  let printed = Pr.node_to_string n in
+  check string_t "control chars become character references"
+    "<a k=\"a&#10;b&#9;c&#13;d&quot;e&lt;f&amp;g\"/>" printed;
+  check (Alcotest.option string_t) "value survives a reparse" (Some hostile)
+    (T.attribute_value (reparse_node n) "k")
+
+let test_text_cr_roundtrip () =
+  let n = T.element "a" [ T.text "one\rtwo\r\nthree\nfour" ] in
+  let printed = Pr.node_to_string n in
+  check string_t "CR becomes a character reference"
+    "<a>one&#13;two&#13;\nthree\nfour</a>" printed;
+  check string_t "text survives a reparse" "one\rtwo\r\nthree\nfour"
+    (T.text_content (reparse_node n))
+
+let test_comment_unserializable () =
+  let ok = T.element "a" [ T.Comment "x - y" ] in
+  check string_t "lone dashes are fine" "<a><!--x - y--></a>"
+    (Pr.node_to_string ok);
+  List.iter
+    (fun body ->
+      match Pr.node_to_string (T.Comment body) with
+      | exception Pr.Unserializable _ -> ()
+      | s -> Alcotest.failf "comment %S must not serialize (got %S)" body s)
+    [ "a--b"; "--"; "ends with -" ]
+
+let test_pi_unserializable () =
+  let ok = T.element "a" [ T.Pi { target = "p"; data = "x > y?" } ] in
+  check string_t "question marks are fine" "<a><?p x > y??></a>"
+    (Pr.node_to_string ok);
+  (match Pr.node_to_string (T.Pi { target = "p"; data = "a?>b" }) with
+  | exception Pr.Unserializable _ -> ()
+  | s -> Alcotest.failf "PI data with \"?>\" must not serialize (got %S)" s)
+
 let test_pretty () =
   let n = T.element "a" [ T.element "b" [ T.text "x" ] ] in
   let s = Pr.pretty n in
@@ -264,6 +307,12 @@ let tests =
       Alcotest.test_case "fragments" `Quick test_fragment;
       Alcotest.test_case "print escapes" `Quick test_print_escapes;
       Alcotest.test_case "print/parse stable" `Quick test_print_parse_roundtrip;
+      Alcotest.test_case "attr control chars roundtrip" `Quick
+        test_attr_control_roundtrip;
+      Alcotest.test_case "text CR roundtrip" `Quick test_text_cr_roundtrip;
+      Alcotest.test_case "unserializable comments" `Quick
+        test_comment_unserializable;
+      Alcotest.test_case "unserializable PIs" `Quick test_pi_unserializable;
       Alcotest.test_case "pretty printer" `Quick test_pretty;
       Alcotest.test_case "stats" `Quick test_stats;
       Alcotest.test_case "tag histogram" `Quick test_tag_histogram;
