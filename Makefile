@@ -10,11 +10,18 @@ build:
 test:
 	dune runtest
 
-# static analysis smoke test: translated queries must lint clean and a
-# hand-written SQL statement goes through the same rules.
+# static analysis smoke test: translated queries must lint clean, a
+# hand-written SQL statement goes through the same rules, and every example
+# query lints without error findings both blind and schema-aware.
 lint:
 	$(OXQ) lint '/catalog/book[author]/title'
 	$(OXQ) lint --sql 'SELECT a.id FROM doc_global a, doc_global b WHERE a.parent = b.id'
+	@set -e; while IFS= read -r q; do \
+	  case "$$q" in ''|\#*) continue;; esac; \
+	  echo "lint: $$q"; \
+	  $(OXQ) lint "$$q" >/dev/null; \
+	  $(OXQ) lint --dtd examples/catalog.dtd "$$q" >/dev/null; \
+	done < examples/queries.txt
 
 # fault injection: truncate the WAL at every byte offset and kill at every
 # commit / checkpoint step, asserting recovery is always prefix-consistent

@@ -96,14 +96,74 @@ let trace_flag =
           "Print the span tree of the run (load, query phases, engine \
            statements) after the results.")
 
+(* ------------------------------------------------------------------ *)
+(* Schema-aware analysis options                                       *)
+(* ------------------------------------------------------------------ *)
+
+let dtd_opt =
+  Cmdliner.Arg.(
+    value
+    & opt (some file) None
+    & info [ "dtd" ] ~docv:"DTD"
+        ~doc:
+          "DTD file: enable schema-aware analysis — unsatisfiable steps \
+           short-circuit to 0-row plans, provably-singleton positional \
+           predicates are dropped, and descendant/following axes are \
+           strength-reduced where the schema fixes their shape.")
+
+let root_opt =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "root" ] ~docv:"NAME"
+        ~doc:
+          "Document root element for schema analysis (default: inferred \
+           from the DTD — elements no content model mentions).")
+
+let load_dtd path =
+  try Xmllib.Dtd.parse (read_file path)
+  with Xmllib.Dtd.Parse_error m ->
+    Printf.eprintf "DTD error: %s\n" m;
+    exit 2
+
+let schema_analyze dtd root path =
+  let roots = Option.map (fun r -> [ r ]) root in
+  Analysis.Schema_check.analyze ?roots dtd path
+
 let query_cmd =
-  let run enc path q trace db_dir =
+  let run enc path q trace db_dir dtd_path root =
     wrap (fun () ->
         let go () =
           let db, store = load_store ?db_dir path enc in
-          let nodes = O.Api.Store.query_nodes store q in
-          Reldb.Db.close db;
-          nodes
+          Fun.protect ~finally:(fun () -> Reldb.Db.close db) @@ fun () ->
+          match dtd_path with
+          | None -> O.Api.Store.query_nodes store q
+          | Some dp -> (
+              let dtd = load_dtd dp in
+              match Xmllib.Dtd.validate dtd (O.Api.Store.document store) with
+              | Error msgs ->
+                  Printf.eprintf
+                    "warning: document does not satisfy the DTD (%d \
+                     violation(s)); translating without schema analysis\n"
+                    (List.length msgs);
+                  O.Api.Store.query_nodes store q
+              | Ok () ->
+                  let sat =
+                    List.filter_map
+                      (fun p ->
+                        let r = schema_analyze dtd root p in
+                        if r.Analysis.Schema_check.satisfiable then
+                          Some r.Analysis.Schema_check.rewritten
+                        else None)
+                      (O.Xpath_parser.parse_union q)
+                  in
+                  if sat = [] then []
+                  else
+                    let res = O.Translate.eval_union db ~doc:"doc" enc sat in
+                    List.map
+                      (fun (row : O.Node_row.t) ->
+                        O.Api.Store.subtree store ~id:row.O.Node_row.id)
+                      res.O.Translate.rows)
         in
         let nodes, spans =
           if trace then Obs.Span.collect go else (go (), [])
@@ -119,7 +179,8 @@ let query_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "query" ~doc:"Evaluate an XPath query; print matches as XML.")
     Cmdliner.Term.(
-      const run $ encoding $ file $ xpath $ trace_flag $ db_dir_opt)
+      const run $ encoding $ file $ xpath $ trace_flag $ db_dir_opt
+      $ dtd_opt $ root_opt)
 
 let analyze_flag =
   Cmdliner.Arg.(
@@ -131,7 +192,7 @@ let analyze_flag =
            row counts, loop counts and per-operator time.")
 
 let sql_cmd =
-  let run enc path q analyze db_dir =
+  let run enc path q analyze db_dir dtd_path root =
     wrap (fun () ->
         let db, store = load_store ?db_dir path enc in
         Fun.protect ~finally:(fun () -> Reldb.Db.close db) @@ fun () ->
@@ -140,7 +201,7 @@ let sql_cmd =
           r.O.Translate.statements
           (List.length r.O.Translate.rows);
         List.iter print_endline r.O.Translate.sql_log;
-        match O.Xpath_parser.parse_union q with
+        (match O.Xpath_parser.parse_union q with
         | [ path ] when O.Translate_sql.eligible enc path ->
             let sql = O.Translate_sql.translate ~doc:"doc" enc path in
             Printf.printf "-- single-statement form:\n%s\n" sql;
@@ -150,12 +211,41 @@ let sql_cmd =
         | _ ->
             if analyze then
               print_endline
-                "-- explain analyze: query has no single-statement form")
+                "-- explain analyze: query has no single-statement form");
+        match dtd_path with
+        | None -> ()
+        | Some dp ->
+            let dtd = load_dtd dp in
+            List.iter
+              (fun p ->
+                let sr = schema_analyze dtd root p in
+                Printf.printf "-- schema analysis: %s\n"
+                  (O.Xpath_ast.to_string p);
+                List.iter
+                  (fun f ->
+                    Printf.printf "  %s\n" (Analysis.Finding.to_string f))
+                  sr.Analysis.Schema_check.findings;
+                if not sr.Analysis.Schema_check.satisfiable then
+                  print_endline
+                    "  plan: unsatisfiable under the DTD; 0 rows, no SQL \
+                     issued"
+                else begin
+                  let rw = sr.Analysis.Schema_check.rewritten in
+                  if rw <> p then
+                    Printf.printf "  rewritten: %s\n" (O.Xpath_ast.to_string rw);
+                  if O.Translate_sql.eligible enc rw then
+                    Printf.printf "-- schema-aware single-statement form:\n%s\n"
+                      (O.Translate_sql.translate
+                         ~unique:sr.Analysis.Schema_check.unique ~doc:"doc"
+                         enc rw)
+                end)
+              (O.Xpath_parser.parse_union q))
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "sql" ~doc:"Show the SQL a query translates to.")
     Cmdliner.Term.(
-      const run $ encoding $ file $ xpath $ analyze_flag $ db_dir_opt)
+      const run $ encoding $ file $ xpath $ analyze_flag $ db_dir_opt
+      $ dtd_opt $ root_opt)
 
 let stats_cmd =
   let run enc path =
@@ -301,9 +391,8 @@ let lint_sql db stmt_text =
       in
       Analysis.Finding.sort (lint @ plan)
 
-let lint_xpath db ~explicit_enc encodings q =
+let lint_xpath db ~explicit_enc encodings paths =
   let catalog = Reldb.Db.catalog db in
-  let paths = O.Xpath_parser.parse_union q in
   let any_error = ref false in
   List.iter
     (fun enc ->
@@ -388,7 +477,7 @@ let lint_cmd =
             "Restrict XPath linting to one encoding (default: all \
              encodings).")
   in
-  let run enc_opt xpath_opt sql_opt =
+  let run enc_opt xpath_opt sql_opt dtd_path root =
     try
       match (xpath_opt, sql_opt) with
       | None, None | Some _, Some _ ->
@@ -410,10 +499,47 @@ let lint_cmd =
           let encodings =
             match enc_opt with Some e -> [ e ] | None -> O.Encoding.all
           in
-          let any_error =
-            lint_xpath db ~explicit_enc:(enc_opt <> None) encodings q
+          let paths = O.Xpath_parser.parse_union q in
+          let any_error = ref false in
+          (* XPath-level rules, independent of encoding and DTD *)
+          List.iter
+            (fun p ->
+              match Analysis.Lint.lint_xpath p with
+              | [] -> ()
+              | fs ->
+                  Printf.printf "-- xpath: %s\n" (O.Xpath_ast.to_string p);
+                  print_findings "  " fs;
+                  if Analysis.Finding.has_errors fs then any_error := true)
+            paths;
+          (* schema analysis when a DTD is supplied: report findings once
+             per path, then lint the rewritten (satisfiable) paths below *)
+          let paths =
+            match dtd_path with
+            | None -> paths
+            | Some dp ->
+                let dtd = load_dtd dp in
+                List.filter_map
+                  (fun p ->
+                    let r = schema_analyze dtd root p in
+                    Printf.printf "-- schema: %s\n" (O.Xpath_ast.to_string p);
+                    if r.Analysis.Schema_check.findings = [] then
+                      print_endline "  clean"
+                    else print_findings "  " r.Analysis.Schema_check.findings;
+                    if Analysis.Finding.has_errors r.Analysis.Schema_check.findings
+                    then any_error := true;
+                    if not r.Analysis.Schema_check.satisfiable then None
+                    else begin
+                      let rw = r.Analysis.Schema_check.rewritten in
+                      if rw <> p then
+                        Printf.printf "  rewritten: %s\n"
+                          (O.Xpath_ast.to_string rw);
+                      Some rw
+                    end)
+                  paths
           in
-          if any_error then 1 else 0
+          if lint_xpath db ~explicit_enc:(enc_opt <> None) encodings paths
+          then any_error := true;
+          if !any_error then 1 else 0
     with
     | O.Xpath_parser.Parse_error m | Reldb.Db.Sql_error m ->
         Printf.eprintf "error: %s\n" m;
@@ -422,10 +548,13 @@ let lint_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "lint"
        ~doc:
-         "Statically analyze a query: SQL lint rules, order-correctness \
-          against each encoding's document-order contract, and plan \
-          inspection. Exit 1 when any error-severity finding fires.")
-    Cmdliner.Term.(const run $ enc_opt $ xpath_opt $ sql_opt)
+         "Statically analyze a query: XPath-level rules, optional \
+          DTD-driven schema analysis (satisfiability, cardinality, axis \
+          strength reduction), SQL lint rules, order-correctness against \
+          each encoding's document-order contract, and plan inspection. \
+          Exit 1 when any error-severity finding fires.")
+    Cmdliner.Term.(
+      const run $ enc_opt $ xpath_opt $ sql_opt $ dtd_opt $ root_opt)
 
 let () =
   let info =

@@ -459,3 +459,70 @@ let lint_stmt ?catalog (stmt : S.stmt) =
         []
   in
   Finding.sort findings
+
+(* ------------------------------------------------------------------ *)
+(* XPath-level rules                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module A = Ordered_xml.Xpath_ast
+
+(* count() compares a non-negative integer, so degenerate bounds mirror the
+   IN/BETWEEN rules: [count(p) >= 0] is a tautology, [count(p) < 0] a
+   contradiction, and [count(p) > 0] is [p] (an existence test) in
+   disguise. *)
+let lint_count add (p : A.predicate) =
+  match p with
+  | A.P_count (pth, op, k) -> begin
+      let txt = A.pred_to_string p in
+      let always_true =
+        match op with A.Ge -> k <= 0 | A.Gt -> k < 0 | A.Ne -> k < 0 | _ -> false
+      in
+      let always_false =
+        match op with A.Lt -> k <= 0 | A.Le -> k < 0 | A.Eq -> k < 0 | _ -> false
+      in
+      if always_true then
+        add
+          (Finding.warning "degenerate-count"
+             "[%s] always holds (count() is never negative) and can be \
+              dropped"
+             txt)
+      else if always_false then
+        add
+          (Finding.warning "degenerate-count"
+             "[%s] can never hold (count() is never negative): the \
+              predicate filters out every node"
+             txt)
+      else
+        match (op, k) with
+        | A.Gt, 0 | A.Ge, 1 ->
+            add
+              (Finding.info "degenerate-count"
+                 "[%s] is an existence test in disguise: write [%s]" txt
+                 (A.to_string pth))
+        | A.Eq, 0 ->
+            add
+              (Finding.info "degenerate-count"
+                 "[%s] is a negated existence test: write [not(%s)]" txt
+                 (A.to_string pth))
+        | _ -> ()
+    end
+  | _ -> ()
+
+let lint_xpath (path : A.path) =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  let rec walk_pred (p : A.predicate) =
+    lint_count add p;
+    match p with
+    | A.P_exists pth | A.P_cmp (pth, _, _) | A.P_count (pth, _, _) ->
+        walk_path pth
+    | A.P_and (a, b) | A.P_or (a, b) ->
+        walk_pred a;
+        walk_pred b
+    | A.P_not a -> walk_pred a
+    | A.P_pos _ | A.P_last -> ()
+  and walk_path (pth : A.path) =
+    List.iter (fun (s : A.step) -> List.iter walk_pred s.A.preds) pth.A.steps
+  in
+  walk_path path;
+  Finding.sort (List.rev !acc)

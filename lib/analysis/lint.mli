@@ -27,3 +27,11 @@ val lint_stmt : ?catalog:Reldb.Catalog.t -> Reldb.Sql_ast.stmt -> Finding.t list
 
 val render : Reldb.Sql_ast.sexpr -> string
 (** SQL-ish rendering of a surface expression, used in messages. *)
+
+val lint_xpath : Ordered_xml.Xpath_ast.path -> Finding.t list
+(** XPath-level rules, run before translation. [degenerate-count]
+    (warning/info) mirrors the IN/BETWEEN degenerate rules for [count()]
+    predicates: [count(p) >= 0] is a tautology and [count(p) < 0] a
+    contradiction (count is never negative); [count(p) > 0] and
+    [count(p) = 0] are existence tests in disguise. Recurses into nested
+    predicate paths. *)

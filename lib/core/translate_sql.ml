@@ -232,7 +232,7 @@ and axes_of_path (path : A.path) acc =
 
 let path_axes path = List.sort_uniq compare (axes_of_path path [])
 
-let translate_meta ~doc enc (path : A.path) =
+let translate_meta ?(unique = false) ~doc enc (path : A.path) =
   if not (eligible enc path) then
     fail
       "path is outside the single-statement fragment for the %s encoding"
@@ -275,8 +275,11 @@ let translate_meta ~doc enc (path : A.path) =
     | None -> ""
   in
   (* a single alias is one pass over the base table — no self-join, so no
-     duplicates to eliminate *)
-  let distinct = if List.length g.aliases > 1 then "DISTINCT " else "" in
+     duplicates to eliminate; [unique] is the schema analysis vouching that
+     each result row is reached exactly once, so dedup can be skipped *)
+  let distinct =
+    if unique || List.length g.aliases <= 1 then "" else "DISTINCT "
+  in
   let sql =
     Printf.sprintf "SELECT %s%s FROM %s WHERE %s%s" distinct
       (Node_row.select_list enc result)
@@ -295,10 +298,10 @@ let translate_meta ~doc enc (path : A.path) =
   in
   (sql, meta)
 
-let translate ~doc enc path = fst (translate_meta ~doc enc path)
+let translate ?unique ~doc enc path = fst (translate_meta ?unique ~doc enc path)
 
-let eval db ~doc enc (path : A.path) =
-  let sql = translate ~doc enc path in
+let eval ?unique db ~doc enc (path : A.path) =
+  let sql = translate ?unique ~doc enc path in
   let rows = List.map (Node_row.of_tuple enc) (Reldb.Db.query db sql) in
   match enc with
   | Encoding.Local ->

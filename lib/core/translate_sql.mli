@@ -27,8 +27,12 @@
 exception Not_single_statement of string
 (** The path uses a feature outside the single-statement fragment. *)
 
-val translate : doc:string -> Encoding.t -> Xpath_ast.path -> string
-(** The SQL text. @raise Not_single_statement when ineligible. *)
+val translate :
+  ?unique:bool -> doc:string -> Encoding.t -> Xpath_ast.path -> string
+(** The SQL text. [~unique:true] is an external guarantee (e.g. from the
+    schema analysis) that the join can produce no duplicate result rows, so
+    [DISTINCT] is omitted. Defaults to [false].
+    @raise Not_single_statement when ineligible. *)
 
 type fragment_meta = {
   fm_encoding : Encoding.t;  (** the encoding the statement was emitted for *)
@@ -49,7 +53,11 @@ type fragment_meta = {
     the contract from the SQL text. *)
 
 val translate_meta :
-  doc:string -> Encoding.t -> Xpath_ast.path -> string * fragment_meta
+  ?unique:bool ->
+  doc:string ->
+  Encoding.t ->
+  Xpath_ast.path ->
+  string * fragment_meta
 (** [translate] plus the metadata contract for the emitted statement.
     @raise Not_single_statement when ineligible. *)
 
@@ -63,7 +71,12 @@ val path_axes : Xpath_ast.path -> Xpath_ast.axis list
     deduplicated). *)
 
 val eval :
-  Reldb.Db.t -> doc:string -> Encoding.t -> Xpath_ast.path -> Translate.result
+  ?unique:bool ->
+  Reldb.Db.t ->
+  doc:string ->
+  Encoding.t ->
+  Xpath_ast.path ->
+  Translate.result
 (** Run the single statement and decode the result rows (sorting LOCAL
     results into document order in the middle tier).
     @raise Not_single_statement when ineligible. *)

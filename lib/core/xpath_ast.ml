@@ -104,3 +104,22 @@ type union = path list
 (* alternatives of a top-level union expression (p1 | p2 | ...) *)
 
 let union_to_string (u : union) = String.concat " | " (List.map to_string u)
+
+(* Constructors and structural queries used by the schema analysis. *)
+
+let step ?(preds = []) axis test = { axis; test; preds }
+
+let child_chain names =
+  List.map (fun n -> step Child (Name n)) names
+
+(* Does the predicate consult position()/last() of the *current* context?
+   Positions inside nested paths (P_exists/P_cmp/P_count operands) are
+   relative to their own inner contexts and don't count. *)
+let rec pred_has_positional = function
+  | P_pos _ | P_last -> true
+  | P_exists _ | P_cmp _ | P_count _ -> false
+  | P_and (a, b) | P_or (a, b) ->
+      pred_has_positional a || pred_has_positional b
+  | P_not a -> pred_has_positional a
+
+let step_has_positional s = List.exists pred_has_positional s.preds

@@ -282,6 +282,74 @@ let attributes_of t name =
   Option.value (Hashtbl.find_opt t.attlists name) ~default:[]
 
 (* ------------------------------------------------------------------ *)
+(* Occurrence bounds (schema analysis accessors)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* (min, max) occurrences of each child name in one expansion of the
+   particle; [None] is unbounded. Sound over-approximation: a valid element
+   never has fewer/more occurrences of a name than the bounds say. *)
+
+let bound_add (mn1, mx1) (mn2, mx2) =
+  let mx =
+    match (mx1, mx2) with Some a, Some b -> Some (a + b) | _ -> None
+  in
+  (mn1 + mn2, mx)
+
+let bound_max (mn1, mx1) (mn2, mx2) =
+  let mx =
+    match (mx1, mx2) with Some a, Some b -> Some (max a b) | _ -> None
+  in
+  (min mn1 mn2, mx)
+
+let merge_bounds combine absent a b =
+  let names =
+    List.sort_uniq compare (List.map fst a @ List.map fst b)
+  in
+  List.map
+    (fun n ->
+      let find l = Option.value (List.assoc_opt n l) ~default:absent in
+      (n, combine (find a) (find b)))
+    names
+
+let rec particle_bounds = function
+  | P_name n -> [ (n, (1, Some 1)) ]
+  | P_seq l ->
+      List.fold_left
+        (fun acc p -> merge_bounds bound_add (0, Some 0) acc (particle_bounds p))
+        [] l
+  | P_choice [] -> []
+  | P_choice (p :: rest) ->
+      List.fold_left
+        (fun acc q -> merge_bounds bound_max (0, Some 0) acc (particle_bounds q))
+        (particle_bounds p) rest
+  | P_opt p -> List.map (fun (n, (_, mx)) -> (n, (0, mx))) (particle_bounds p)
+  | P_star p -> List.map (fun (n, _) -> (n, (0, None))) (particle_bounds p)
+  | P_plus p -> List.map (fun (n, (mn, _)) -> (n, (mn, None))) (particle_bounds p)
+
+let child_bounds t name =
+  match content_of t name with
+  | None | Some C_empty -> []
+  | Some C_any ->
+      List.map
+        (fun n -> (n, (0, None)))
+        (List.sort compare (element_names t))
+  | Some (C_mixed names) ->
+      List.map (fun n -> (n, (0, None))) (List.sort_uniq compare names)
+  | Some (C_model p) -> particle_bounds p
+
+let allows_text t name =
+  match content_of t name with
+  | Some (C_mixed _ | C_any) -> true
+  | Some (C_empty | C_model _) | None -> false
+
+let allows_comments t name =
+  (* the validator only rejects comments under EMPTY content (an EMPTY
+     element must have no children at all) *)
+  match content_of t name with
+  | Some (C_any | C_mixed _ | C_model _) -> true
+  | Some C_empty | None -> false
+
+(* ------------------------------------------------------------------ *)
 (* Validation (Brzozowski derivatives over the particle algebra)       *)
 (* ------------------------------------------------------------------ *)
 

@@ -49,6 +49,23 @@ val element_names : t -> string list
 val content_of : t -> string -> content option
 val attributes_of : t -> string -> (string * attr_default) list
 
+val particle_bounds : particle -> (string * (int * int option)) list
+(** [(min, max)] occurrences of each child element name in one match of the
+    particle; [None] max means unbounded. Sound over-approximation: any
+    valid expansion has between [min] and [max] occurrences of the name. *)
+
+val child_bounds : t -> string -> (string * (int * int option)) list
+(** Per-child-name occurrence bounds for the content model of an element.
+    [EMPTY] and undeclared elements have no children; [ANY] admits every
+    declared element [0..unbounded]; mixed content admits its listed names
+    [0..unbounded]. *)
+
+val allows_text : t -> string -> bool
+(** Can a valid instance of the element have text children? (mixed or ANY) *)
+
+val allows_comments : t -> string -> bool
+(** Can a valid instance carry comment children? (anything but EMPTY) *)
+
 val validate : t -> Types.document -> (unit, string list) result
 (** Structural validation (one message per violation, with the element
     name). Elements not declared in the DTD are violations, as are

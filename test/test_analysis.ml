@@ -301,6 +301,69 @@ let test_plan_lint () =
   check bool_t "LIMIT 0 subtree suppressed" true
     (rules (plan_of "SELECT * FROM emp a, emp b WHERE 1 = 0") = [])
 
+(* ---------------- degenerate count() lint over XPath ----------------- *)
+
+let test_lint_degenerate_count () =
+  let findings q = Analysis.Lint.lint_xpath (O.Xpath_parser.parse q) in
+  let by_rule rule q =
+    List.filter (fun (f : F.t) -> f.rule = rule) (findings q)
+  in
+  let severities rule q = List.map (fun (f : F.t) -> f.severity) (by_rule rule q) in
+  (* tautology: count is never negative *)
+  check bool_t "count >= 0 warns" true
+    (severities "degenerate-count" "/a/b[count(c) >= 0]" = [ F.Warning ]);
+  (let module A = O.Xpath_ast in
+   let p =
+     {
+       A.absolute = true;
+       steps =
+         [
+           A.step A.Child (A.Name "a")
+             ~preds:
+               [
+                 A.P_count
+                   ( { A.absolute = false; steps = [ A.step A.Child (A.Name "c") ] },
+                     A.Ne, -1 );
+               ];
+         ];
+     }
+   in
+   match Analysis.Lint.lint_xpath p with
+   | [ f ] -> check bool_t "count != -1 warns" true (f.F.severity = F.Warning)
+   | l -> Alcotest.failf "count != -1: %d findings" (List.length l));
+  (* contradiction: filters out everything *)
+  (match by_rule "degenerate-count" "/a/b[count(c) < 0]" with
+  | [ f ] ->
+      check bool_t "count < 0 warns" true (f.severity = F.Warning);
+      check bool_t "message says never" true
+        (Astring_contains.contains f.message "never")
+  | l -> Alcotest.failf "count < 0: %d findings" (List.length l));
+  (* existence tests in disguise are Info, with the suggested spelling *)
+  (match by_rule "degenerate-count" "/a/b[count(c) > 0]" with
+  | [ f ] ->
+      check bool_t "count > 0 is info" true (f.severity = F.Info);
+      check bool_t "suggests [c]" true (Astring_contains.contains f.message "[c]")
+  | l -> Alcotest.failf "count > 0: %d findings" (List.length l));
+  (match by_rule "degenerate-count" "/a/b[count(c) = 0]" with
+  | [ f ] ->
+      check bool_t "count = 0 is info" true (f.severity = F.Info);
+      check bool_t "suggests not(c)" true
+        (Astring_contains.contains f.message "not(c)")
+  | l -> Alcotest.failf "count = 0: %d findings" (List.length l));
+  (* nested inside boolean connectives and inner predicates still fires *)
+  check bool_t "nested in not()" true
+    (severities "degenerate-count" "/a/b[not(count(c) >= 0)]" = [ F.Warning ]);
+  check bool_t "nested in and" true
+    (List.length (by_rule "degenerate-count" "/a/b[count(c) >= 0 and d]") = 1);
+  check bool_t "inner predicate path" true
+    (List.length (by_rule "degenerate-count" "/a/b[c[count(d) < 0]]") = 1);
+  (* honest counts stay silent *)
+  check bool_t "count >= 2 clean" true
+    (by_rule "degenerate-count" "/a/b[count(c) >= 2]" = []);
+  check bool_t "count = 3 clean" true
+    (by_rule "degenerate-count" "/a/b[count(c) = 3]" = []);
+  check bool_t "plain path clean" true (findings "/a/b[c]/d" = [])
+
 let tests =
   ( "analysis",
     [
@@ -319,4 +382,6 @@ let tests =
       Alcotest.test_case "order tampering caught" `Quick test_order_tampering;
       Alcotest.test_case "axis support" `Quick test_axis_support;
       Alcotest.test_case "plan lint" `Quick test_plan_lint;
+      Alcotest.test_case "degenerate count() lint" `Quick
+        test_lint_degenerate_count;
     ] )

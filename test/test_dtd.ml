@@ -133,6 +133,64 @@ let prop_recursive_sample =
       let doc = D.sample rec_dtd ~root:"tree" (Xmllib.Rng.create seed) in
       D.validate rec_dtd doc = Ok ())
 
+(* random DAG-shaped DTDs from the schema-oracle generator: sampling must
+   always produce a document the same DTD validates *)
+let prop_random_dtd_sample_validates =
+  QCheck.Test.make ~name:"random DTDs: sample satisfies validate" ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let case = QCheck.Gen.generate1 ~rand Xpath_gen.gen_schema_case in
+      let t = D.parse case.Xpath_gen.dtd_text in
+      let doc = D.sample t ~root:case.Xpath_gen.root (Xmllib.Rng.create seed) in
+      D.validate t doc = Ok ())
+
+(* mixed content under a recursive schema: sample still terminates and
+   validates (depth cut-off picks the lightest branch) *)
+let prop_recursive_mixed_sample =
+  let t =
+    D.parse
+      "<!ELEMENT p (#PCDATA | p | em)*> <!ELEMENT em (#PCDATA)>"
+  in
+  QCheck.Test.make ~name:"recursive mixed DTD sampling validates" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let doc = D.sample t ~root:"p" (Xmllib.Rng.create seed) in
+      D.validate t doc = Ok ())
+
+(* content_of / attributes_of on the edges of the declaration space *)
+let test_introspection_edges () =
+  let t =
+    D.parse
+      {|<!ELEMENT box ANY> <!ELEMENT hr EMPTY> <!ELEMENT note (#PCDATA)>
+        <!ATTLIST hr width CDATA "1" style CDATA #IMPLIED>|}
+  in
+  (match D.content_of t "box" with
+  | Some D.C_any -> ()
+  | _ -> Alcotest.fail "box is ANY");
+  (match D.content_of t "hr" with
+  | Some D.C_empty -> ()
+  | _ -> Alcotest.fail "hr is EMPTY");
+  check bool_t "undeclared element has no content" true
+    (D.content_of t "missing" = None);
+  check int_t "hr attrs" 2 (List.length (D.attributes_of t "hr"));
+  (match List.assoc_opt "width" (D.attributes_of t "hr") with
+  | Some (D.A_default "1") -> ()
+  | _ -> Alcotest.fail "width defaults to 1");
+  (match List.assoc_opt "style" (D.attributes_of t "hr") with
+  | Some D.A_implied -> ()
+  | _ -> Alcotest.fail "style implied");
+  check bool_t "undeclared element has no attrs" true
+    (D.attributes_of t "missing" = []);
+  check bool_t "declared element, no ATTLIST" true (D.attributes_of t "box" = []);
+  (* ANY accepts declared elements and text, rejects undeclared elements *)
+  let ok s = D.validate t (doc_of s) = Ok () in
+  check bool_t "ANY accepts mixture" true (ok "<box>free <hr/> text<note>n</note></box>");
+  check bool_t "ANY rejects undeclared" false (ok "<box><mystery/></box>");
+  (* sampling honours defaulted/implied attributes when they appear *)
+  let doc = D.sample t ~root:"hr" (Xmllib.Rng.create 5) in
+  check bool_t "sampled hr validates" true (D.validate t doc = Ok ())
+
 (* the XMark-style generator conforms to its own DTD *)
 let xmark_dtd = Xmllib.Generator.xmark_dtd
 
@@ -153,7 +211,11 @@ let tests =
       Alcotest.test_case "validate (negative)" `Quick test_validate_negative;
       Alcotest.test_case "mixed content" `Quick test_mixed_content;
       Alcotest.test_case "nested models" `Quick test_nested_models;
+      Alcotest.test_case "introspection edge cases" `Quick
+        test_introspection_edges;
       Alcotest.test_case "xmark generator conforms" `Quick test_xmark_conforms;
       QCheck_alcotest.to_alcotest prop_sample_validates;
       QCheck_alcotest.to_alcotest prop_recursive_sample;
+      QCheck_alcotest.to_alcotest prop_random_dtd_sample_validates;
+      QCheck_alcotest.to_alcotest prop_recursive_mixed_sample;
     ] )

@@ -15,6 +15,7 @@ let () =
       Test_translate.tests;
       Test_translate_sql.tests;
       Test_analysis.tests;
+      Test_schema_check.tests;
       Test_prepared.tests;
       Test_update.tests;
       Test_api.tests;

@@ -142,3 +142,148 @@ let gen_path =
       (list_size (int_range 1 4) gen_step))
 
 let arb_path = QCheck.make ~print:A.to_string gen_path
+
+(* --- (DTD, document, query) triples for the schema-aware oracle ---------
+
+   Random DTDs over tags d0..d{n-1} arranged as a DAG (element i only
+   references elements j > i) so Dtd.sample terminates quickly; d1 always
+   carries the attribute pool the predicate generator compares against.
+   Queries are drawn over the same alphabet (plus an undeclared "zz" to
+   exercise unsatisfiability) so schema analysis has something to say. *)
+
+type schema_case = { dtd_text : string; root : string; ntags : int }
+
+let gen_schema_case =
+  QCheck.Gen.(
+    let* n = int_range 3 6 in
+    let name i = Printf.sprintf "d%d" i in
+    let elem i =
+      let leaf =
+        oneofl
+          [
+            Printf.sprintf "<!ELEMENT %s (#PCDATA)>" (name i);
+            Printf.sprintf "<!ELEMENT %s EMPTY>" (name i);
+          ]
+      in
+      if i = n - 1 then leaf
+      else
+        let* kind = int_bound 9 in
+        if kind <= 1 then leaf
+        else if kind = 2 then
+          (* mixed content over one later element *)
+          let* j = int_range (i + 1) (n - 1) in
+          return
+            (Printf.sprintf "<!ELEMENT %s (#PCDATA | %s)*>" (name i) (name j))
+        else if kind = 3 then
+          (* a two-way choice *)
+          let* j = int_range (i + 1) (n - 1) in
+          let* j' = int_range (i + 1) (n - 1) in
+          return
+            (Printf.sprintf "<!ELEMENT %s (%s | %s)>" (name i) (name j)
+               (name j'))
+        else
+          (* a sequence of 1-3 particles with random modifiers *)
+          let* k = int_range 1 3 in
+          let* parts =
+            flatten_l
+              (List.init k (fun _ ->
+                   let* j = int_range (i + 1) (n - 1) in
+                   let* m = oneofl [ ""; "?"; "*"; "+" ] in
+                   return (name j ^ m)))
+          in
+          return
+            (Printf.sprintf "<!ELEMENT %s (%s)>" (name i)
+               (String.concat ", " parts))
+    in
+    let* decls = flatten_l (List.init n elem) in
+    let attlist =
+      (* "gold" is in Generator's word pool, so k0/k2 comparisons can hit *)
+      {|<!ATTLIST d1 k0 CDATA #REQUIRED k1 CDATA #IMPLIED k2 CDATA "gold">|}
+    in
+    return
+      {
+        dtd_text = String.concat "\n" (decls @ [ attlist ]);
+        root = "d0";
+        ntags = n;
+      })
+
+let gen_schema_test ntags =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun i -> A.Name (Printf.sprintf "d%d" i)) (int_bound (ntags - 1)));
+        (1, return (A.Name "zz"));
+        (2, return A.Any_name);
+        (1, return A.Text_test);
+      ])
+
+let gen_schema_axis =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, return A.Child);
+        (4, return A.Descendant);
+        (1, return A.Descendant_or_self);
+        (1, return A.Self);
+        (1, return A.Parent);
+        (2, return A.Attribute);
+        (2, return A.Following_sibling);
+        (1, return A.Preceding_sibling);
+        (1, return A.Following);
+        (1, return A.Preceding);
+        (1, return A.Ancestor);
+      ])
+
+let gen_schema_pred ntags =
+  QCheck.Gen.(
+    let rel steps = { A.absolute = false; steps } in
+    frequency
+      [
+        ( 3,
+          map
+            (fun t -> A.P_exists (rel [ A.step A.Child t ]))
+            (gen_schema_test ntags) );
+        (2, map (fun k -> A.P_pos (A.Eq, 1 + k)) (int_bound 2));
+        (1, return A.P_last);
+        ( 2,
+          map2
+            (fun t k -> A.P_count (rel [ A.step A.Child t ], A.Ge, k))
+            (gen_schema_test ntags) (int_bound 2) );
+        ( 2,
+          map
+            (fun a ->
+              A.P_cmp
+                (rel [ A.step A.Attribute (A.Name a) ], A.Eq, A.L_str "gold"))
+            (oneofl [ "k0"; "k2" ]) );
+        ( 1,
+          return
+            (A.P_cmp (rel [ A.step A.Child A.Text_test ], A.Ne, A.L_str "bid"))
+        );
+      ])
+
+let gen_schema_step ntags =
+  QCheck.Gen.(
+    let* axis = gen_schema_axis in
+    let* test =
+      if axis = A.Attribute then
+        oneofl [ A.Name "k0"; A.Name "k1"; A.Name "k2"; A.Any_name ]
+      else gen_schema_test ntags
+    in
+    let* preds =
+      frequency
+        [ (6, return []); (3, list_size (int_range 1 2) (gen_schema_pred ntags)) ]
+    in
+    return { A.axis; test; preds })
+
+let gen_schema_path ntags =
+  QCheck.Gen.(
+    map
+      (fun steps ->
+        let steps =
+          match steps with
+          | ({ A.axis = A.Child | A.Descendant; _ } as s) :: tl -> s :: tl
+          | s :: rest -> { s with A.axis = A.Descendant } :: rest
+          | [] -> [ A.step A.Descendant A.Any_name ]
+        in
+        { A.absolute = true; steps })
+      (list_size (int_range 1 4) (gen_schema_step ntags)))
